@@ -1,0 +1,58 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures through
+the same code path as ``repro.experiments.run_all``, at a reduced scale so
+the whole harness completes in minutes.  Environment knobs:
+
+* ``REPRO_BENCH_RECORDS``   — trace length per workload (default 1200);
+* ``REPRO_BENCH_WORKLOADS`` — comma-separated workload subset
+  (default ``gcc,mcf,lbm,dee``);
+* ``REPRO_BENCH_FULL=1``    — run at full experiment scale (slow).
+"""
+
+import os
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.experiments import common
+
+FULL = os.environ.get("REPRO_BENCH_FULL") == "1"
+
+
+def bench_records(default: int = 1200) -> int:
+    if FULL:
+        return common.experiment_records()
+    return int(os.environ.get("REPRO_BENCH_RECORDS", default))
+
+
+def bench_workloads():
+    if FULL:
+        return common.experiment_workloads()
+    raw = os.environ.get("REPRO_BENCH_WORKLOADS", "gcc,mcf,lbm,dee")
+    return [name.strip() for name in raw.split(",") if name.strip()]
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> SystemConfig:
+    if FULL:
+        return common.experiment_config()
+    return SystemConfig.scaled(levels=13)
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _shared_cache():
+    """One memoized run matrix for the whole benchmark session."""
+    yield
+    common.clear_cache()
+
+
+def regenerate(benchmark, fn, *args, **kwargs):
+    """Run an experiment once under pytest-benchmark timing."""
+    result = benchmark.pedantic(
+        lambda: fn(*args, **kwargs), rounds=1, iterations=1, warmup_rounds=0
+    )
+    assert result.rows
+    print()
+    print(result.to_text())
+    return result

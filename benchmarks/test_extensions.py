@@ -1,0 +1,43 @@
+"""Benchmarks for the extension experiments: timing ablation and Z-search.
+
+Paper shape (Section VI-A): IR-Alloc's speedup without timing protection is
+slightly smaller than with it (40% vs 41%); the greedy Z-search finds a
+non-uniform allocation within the space/eviction constraints.
+"""
+
+from repro.config import SystemConfig
+from repro.experiments import ablation_timing, zsearch
+
+from conftest import FULL, bench_records, bench_workloads, regenerate
+
+
+def test_ablation_timing(benchmark, bench_config):
+    result = regenerate(
+        benchmark,
+        ablation_timing.run,
+        bench_config,
+        bench_records(),
+        bench_workloads(),
+    )
+    geo = result.rows[-1]
+    protected_alloc, unprotected_alloc = geo[1], geo[3]
+    # IR-Alloc helps in both modes, within a similar band (Section VI-A)
+    assert protected_alloc > 1.0
+    assert unprotected_alloc > 1.0
+    assert abs(protected_alloc - unprotected_alloc) < 0.35
+
+
+def test_zsearch(benchmark):
+    config = (
+        SystemConfig.scaled(levels=12) if FULL else SystemConfig.scaled(levels=9)
+    )
+    result = regenerate(
+        benchmark,
+        zsearch.run,
+        config,
+        min(bench_records(), 600),
+        0.06,
+    )
+    rows = {row[0]: row for row in result.rows}
+    assert rows["blocks per path (PL)"][2] <= rows["blocks per path (PL)"][1]
+    assert rows["speedup"][2] >= 0.95

@@ -1,0 +1,24 @@
+"""Fig. 2 benchmark: path-access-type distribution under the Baseline.
+
+Paper shape: PTd dominates (~56%), PTp is non-negligible (~33%) with Pos1
+several times Pos2, and PTm fills the rest.
+"""
+
+from repro.experiments import fig02_path_types
+
+from conftest import bench_records, bench_workloads, regenerate
+
+
+def test_fig02_distribution(benchmark, bench_config):
+    result = regenerate(
+        benchmark,
+        fig02_path_types.run,
+        bench_config,
+        bench_records(),
+        bench_workloads(),
+    )
+    average = result.rows[-1]
+    pos1, pos2, data = average[1], average[2], average[3]
+    assert data > 0.35                      # PTd dominates
+    assert pos1 > pos2                      # Pos1 outweighs Pos2
+    assert 0.05 < pos1 + pos2 < 0.65        # PTp non-negligible

@@ -1,0 +1,37 @@
+"""Fig. 3 / Fig. 4 benchmarks: per-level space utilization over time.
+
+Paper shape: middle levels run well below the ~50% provisioning while the
+bottom levels run far above it.
+"""
+
+from repro.experiments import fig03_utilization, fig04_utilization_per_bench
+
+from conftest import bench_records, regenerate
+
+
+def test_fig03_utilization_shape(benchmark, bench_config):
+    result = regenerate(
+        benchmark, fig03_utilization.run, bench_config, bench_records(),
+    )
+    average = result.rows[-1]
+    levels = bench_config.oram.levels
+    middle = average[1 + levels // 2]
+    bottom = average[levels]  # last level
+    assert bottom > middle
+    assert bottom > 0.5
+    assert middle < 0.5
+
+
+def test_fig04_per_benchmark(benchmark, bench_config):
+    result = regenerate(
+        benchmark,
+        fig04_utilization_per_bench.run,
+        bench_config,
+        bench_records(),
+        ["gcc", "random"],
+    )
+    levels = bench_config.oram.levels
+    rows = result.row_map("workload")
+    # random traces keep middle levels at least as full as program traces
+    middle_index = 1 + levels // 2
+    assert rows["random"][levels] > 0.4  # bottom level well used

@@ -1,0 +1,40 @@
+"""Fig. 5 / Fig. 6 benchmarks: block migration and tree-top reuse.
+
+Paper shape: pre-existing stash blocks are written near the top while
+fetched blocks flush deep (Fig. 5); the tiny tree top serves a share of
+requests orders of magnitude above its capacity share (Fig. 6).
+"""
+
+from repro.experiments import fig05_migration, fig06_treetop_reuse
+
+from conftest import bench_records, regenerate
+
+
+def test_fig05_migration(benchmark, bench_config):
+    result = regenerate(
+        benchmark, fig05_migration.run, bench_config, bench_records()
+    )
+    levels = bench_config.oram.levels
+    top_half = range(levels // 2)
+    pre_top = sum(result.rows[level][1] for level in top_half)
+    fetched_top = sum(result.rows[level][2] for level in top_half)
+    # pre-existing blocks concentrate toward the top vs fetched blocks
+    assert pre_top > fetched_top
+
+
+def test_fig06_treetop_reuse(benchmark, bench_config):
+    result = regenerate(
+        benchmark, fig06_treetop_reuse.run, bench_config,
+        max(bench_records(), 2000),
+    )
+    shares = dict(zip(result.column("location"),
+                      result.column("fraction of requests")))
+    top_levels = bench_config.oram.top_cached_levels
+    top_share = sum(shares.get(f"L{l}", 0.0) for l in range(top_levels))
+    oram = bench_config.oram
+    capacity_share = sum(
+        oram.z_per_level[l] << l for l in range(top_levels)
+    ) / oram.tree_slots()
+    # reuse share dwarfs capacity share (paper: 23% from <0.01% of space)
+    assert top_share > 5 * capacity_share
+    assert top_share > 0.05

@@ -1,0 +1,17 @@
+"""Fig. 7 benchmark: the IR-Alloc allocation arithmetic (exact numbers)."""
+
+from repro.experiments import fig07_alloc_example
+
+from conftest import regenerate
+
+
+def test_fig07_pl_numbers(benchmark):
+    result = regenerate(benchmark, fig07_alloc_example.run)
+    pls = dict(zip(result.column("allocation"), result.column("PL")))
+    # exact values from the paper
+    assert pls["Path ORAM (no tree-top cache)"] == 100
+    assert pls["Path ORAM + 10-level top cache"] == 60
+    assert pls["IR-ORAM"] == 43
+    assert pls["IR-Alloc2"] == 42
+    assert pls["IR-Alloc3"] == 37
+    assert pls["IR-Alloc4"] == 36

@@ -1,0 +1,31 @@
+"""Fig. 10 benchmark: speedup of every scheme over the Baseline.
+
+Paper shape: IR-Alloc is the largest single win, IR-Stash helps, IR-DWB is
+small but non-negative, IR-ORAM combines them, and LLC-D slows the
+read-intensive mcf while helping write-heavy programs.
+"""
+
+from repro.experiments import fig10_performance
+from repro.experiments.common import geometric_mean
+
+from conftest import bench_records, bench_workloads, regenerate
+
+
+def test_fig10_speedups(benchmark, bench_config):
+    workloads = bench_workloads()
+    result = regenerate(
+        benchmark,
+        fig10_performance.run,
+        bench_config,
+        bench_records(),
+        workloads,
+    )
+    summary = result.rows[-1]
+    by_scheme = dict(zip(result.headers[1:], summary[1:]))
+    assert by_scheme["IR-Alloc"] > 1.1          # the big single win
+    assert by_scheme["IR-Stash"] >= 0.99        # never hurts
+    assert by_scheme["IR-DWB"] >= 0.99          # small but non-negative
+    assert by_scheme["IR-ORAM"] > 1.1           # combination wins
+    if "mcf" in workloads:
+        rows = result.row_map("workload")
+        assert rows["mcf"][result.headers.index("LLC-D")] < 1.0

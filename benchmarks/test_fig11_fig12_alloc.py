@@ -1,0 +1,39 @@
+"""Fig. 11 / Fig. 12 benchmarks: LLC-D composition and IR-Alloc configs.
+
+Paper shape: IR-Stash+IR-Alloc improves an LLC-D baseline across the board
+(Fig. 11); among IR-Alloc1..4, smaller PL buys speed while aggressive
+configurations spend more time on background eviction (Fig. 12).
+"""
+
+from repro.experiments import fig11_llcd, fig12_alloc_configs
+from repro.experiments.common import geometric_mean
+
+from conftest import bench_records, bench_workloads, regenerate
+
+
+def test_fig11_llcd_composition(benchmark, bench_config):
+    result = regenerate(
+        benchmark,
+        fig11_llcd.run,
+        bench_config,
+        bench_records(),
+        bench_workloads(),
+    )
+    assert result.rows[-1][1] > 1.0  # geomean improvement over LLC-D
+
+
+def test_fig12_alloc_configs(benchmark, bench_config):
+    result = regenerate(
+        benchmark,
+        fig12_alloc_configs.run,
+        bench_config,
+        bench_records(),
+        bench_workloads(),
+    )
+    summary = result.rows[-1]
+    # normalized time: every configuration at or below the baseline's 1.0
+    ir1, ir4 = summary[1], summary[7]
+    assert ir1 <= 1.02
+    assert ir4 <= 1.02
+    # smaller PL (IR-Alloc4) is at least as fast as IR-Alloc1 on average
+    assert ir4 <= ir1 + 0.05

@@ -1,0 +1,26 @@
+"""Fig. 16 benchmark: IR-Alloc scalability across tree sizes.
+
+Paper shape: speedups on random traces stay stable across protected-memory
+sizes, with near-zero variance across random traces.
+"""
+
+from repro.experiments import fig16_scalability
+
+from conftest import bench_records, regenerate
+from conftest import FULL
+
+
+def test_fig16_scalability(benchmark):
+    sweep = (14, 15, 16) if FULL else (10, 11)
+    seeds = (1, 2, 3, 4, 5) if FULL else (1, 2)
+    result = regenerate(
+        benchmark,
+        fig16_scalability.run,
+        sweep,
+        min(bench_records(), 1500),
+        seeds,
+    )
+    speedups = result.column("mean speedup")
+    assert all(value > 0.9 for value in speedups)
+    spread = max(speedups) - min(speedups)
+    assert spread < 0.5  # stable across sizes

@@ -1,0 +1,18 @@
+"""Benchmarks regenerating Table I and Table II."""
+
+from repro.experiments import table1_config, table2_benchmarks
+
+from conftest import bench_records, regenerate
+
+
+def test_table1_config(benchmark, bench_config):
+    result = regenerate(benchmark, table1_config.run, bench_config)
+    params = dict(zip(result.column("parameter"), result.column("paper")))
+    assert params["ORAM tree levels"] == 25
+
+
+def test_table2_benchmarks(benchmark, bench_config):
+    result = regenerate(
+        benchmark, table2_benchmarks.run, bench_config, bench_records()
+    )
+    assert len(result.rows) == 13

@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""An oblivious key-value store built on the Path ORAM controller.
+
+The paper's motivation is protecting cloud applications whose memory access
+patterns leak secrets.  This example builds a tiny key-value store whose
+GET/PUT operations go through the ORAM controller, then *verifies with the
+obliviousness checker* that the externally visible memory trace reveals
+nothing about which keys were accessed: a skewed, secret-dependent workload
+produces the same fixed-rate, fixed-shape path accesses as any other.
+
+Run:  python examples/oblivious_kv_store.py
+"""
+
+import random
+
+from repro import AccessRecorder, SystemConfig, check_obliviousness
+from repro.core.schemes import build_scheme
+from repro.oram.types import Request, RequestKind
+
+
+class ObliviousKVStore:
+    """A block-granular KV store: each key owns one ORAM block."""
+
+    def __init__(self, config: SystemConfig) -> None:
+        components = build_scheme("IR-ORAM", config)
+        self.controller = components.controller
+        self.recorder = AccessRecorder()
+        self.controller.observer = self.recorder
+        self.config = config
+        self._values = {}       # simulated payloads (host-side shadow)
+        self._keymap = {}       # key -> user block
+        self._next_block = 0
+        self.now = 0
+
+    def _block_of(self, key: str) -> int:
+        if key not in self._keymap:
+            if self._next_block >= self.config.oram.user_blocks:
+                raise RuntimeError("store full")
+            self._keymap[key] = self._next_block
+            self._next_block += 1
+        return self._keymap[key]
+
+    def _access(self, block: int, is_write: bool) -> None:
+        request = Request(
+            block=block,
+            kind=RequestKind.READ,
+            arrival=self.now,
+            is_write=is_write,
+        )
+        self.controller.enqueue(request)
+        interval = self.config.oram.issue_interval
+        while request.completion is None:
+            result = self.controller.step(self.now, allow_dummy=True)
+            self.now = max(self.now + interval, result.finish_write)
+
+    def put(self, key: str, value: str) -> None:
+        self._access(self._block_of(key), is_write=True)
+        self._values[key] = value
+
+    def get(self, key: str) -> str:
+        self._access(self._block_of(key), is_write=False)
+        return self._values[key]
+
+
+def main() -> None:
+    config = SystemConfig.scaled(levels=11)
+    store = ObliviousKVStore(config)
+    rng = random.Random(99)
+
+    print("populating 200 keys ...")
+    for i in range(200):
+        store.put(f"user:{i}", f"profile-{i}")
+
+    print("running a secret-dependent, highly skewed query mix ...")
+    hot_keys = [f"user:{i}" for i in range(5)]
+    for _ in range(300):
+        if rng.random() < 0.8:
+            key = rng.choice(hot_keys)       # the secret: 5 hot users
+        else:
+            key = f"user:{rng.randrange(200)}"
+        value = store.get(key)
+        assert value.startswith("profile-")
+
+    report = check_obliviousness(store.recorder, config.oram)
+    print(f"\nobservable path accesses : {report.total_paths}")
+    print(f"uniform path shape       : {report.shape_uniform}")
+    print(f"fixed issue rate         : {report.rate_uniform} "
+          f"(min gap {report.min_interval} cycles)")
+    print(f"uniform leaves per type  : {report.leaf_uniform_by_type}")
+    print(f"\noblivious: {report.ok} — the 80/20 hot-key skew is invisible "
+          "in the memory trace")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Compare every scheme of the paper on a workload of your choice.
+
+A compact version of Fig. 10 for one workload: run Baseline, Rho, the three
+IR techniques, the combined IR-ORAM, and LLC-D, then print execution time,
+speedup, path counts by type, and the per-scheme mechanisms (background
+evictions, PosMap paths, dummy conversions).
+
+Run:  python examples/scheme_comparison.py [workload] [records]
+      python examples/scheme_comparison.py dee 8000
+"""
+
+import sys
+
+from repro import SystemConfig, run_benchmark
+from repro.experiments.fig10_performance import SCHEME_ORDER
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "xz"
+    records = int(sys.argv[2]) if len(sys.argv) > 2 else 5000
+    config = SystemConfig.scaled()
+    print(f"workload {workload}, {records} records, "
+          f"L={config.oram.levels} tree\n")
+
+    header = (f"{'scheme':<10} {'cycles':>12} {'speedup':>8} {'paths':>7} "
+              f"{'PTd':>6} {'PTp':>6} {'PTm':>6} {'evict':>6} {'dwb':>5}")
+    print(header)
+    print("-" * len(header))
+
+    baseline_cycles = None
+    for scheme in SCHEME_ORDER:
+        result = run_benchmark(scheme, workload, config, records=records)
+        if baseline_cycles is None:
+            baseline_cycles = result.cycles
+        speedup = baseline_cycles / result.cycles
+        counts = result.path_counts
+        print(
+            f"{scheme:<10} {result.cycles:>12,} {speedup:>8.2f} "
+            f"{result.total_paths():>7.0f} {counts['PTd']:>6.0f} "
+            f"{result.posmap_paths():>6.0f} {counts['PTm']:>6.0f} "
+            f"{result.background_evictions():>6.0f} "
+            f"{result.counters.get('dwb.converted_slots', 0):>5.0f}"
+        )
+
+    print("\npaper averages (Fig. 10): Rho 1.11x, IR-Alloc 1.41x, "
+          "IR-Stash 1.27x, IR-DWB 1.05x, IR-ORAM 1.57x")
+
+
+if __name__ == "__main__":
+    main()

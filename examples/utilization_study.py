@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Reproduce the Section III motivation studies interactively.
+
+Three observations drive IR-ORAM's design; this script regenerates all of
+them on the scaled platform and renders ASCII bar charts:
+
+1. the per-level space utilization mismatch (Fig. 3): middle levels are
+   mostly dummy blocks;
+2. the block migration behaviour (Fig. 5): pre-existing stash blocks land
+   near the top, fetched blocks sink back;
+3. tree-top reuse (Fig. 6): a tiny top fraction of the tree serves a
+   disproportionate share of requests.
+
+Run:  python examples/utilization_study.py [records]
+"""
+
+import sys
+
+from repro import SystemConfig
+from repro.experiments import (
+    fig03_utilization,
+    fig05_migration,
+    fig06_treetop_reuse,
+)
+
+
+def bar(fraction: float, width: int = 40) -> str:
+    filled = int(round(fraction * width))
+    return "#" * filled + "." * (width - filled)
+
+
+def main() -> None:
+    records = int(sys.argv[1]) if len(sys.argv) > 1 else 4000
+    config = SystemConfig.scaled()
+
+    print("=" * 64)
+    print("1. Space utilization per tree level (Fig. 3 methodology)")
+    print("=" * 64)
+    result = fig03_utilization.run(config, records, snapshots=4)
+    average = result.rows[-1]
+    for level in range(config.oram.levels):
+        value = average[1 + level]
+        print(f"  L{level:<2} {bar(value)} {value:.2f}")
+    print("  -> middle levels run far below the ~50% provisioning;"
+          " IR-Alloc shrinks their buckets.\n")
+
+    print("=" * 64)
+    print("2. Write-phase placement (Fig. 5 methodology)")
+    print("=" * 64)
+    result = fig05_migration.run(config, records)
+    print(f"  {'level':>5} {'pre-existing':>14} {'fetched':>10}")
+    for row in result.rows:
+        print(f"  {row[0]:>5} {row[1]:>14.3f} {row[2]:>10.3f}")
+    for note in result.notes:
+        print(f"  -> {note}")
+    print()
+
+    print("=" * 64)
+    print("3. Tree-top reuse (Fig. 6 methodology, no LLC filter)")
+    print("=" * 64)
+    result = fig06_treetop_reuse.run(config, records)
+    for location, fraction in result.rows:
+        if fraction > 0.001:
+            print(f"  {location:>6} {bar(fraction)} {fraction:.3f}")
+    for note in result.notes:
+        print(f"  -> {note}")
+
+
+if __name__ == "__main__":
+    main()

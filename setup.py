@@ -1,0 +1,8 @@
+"""Legacy setup shim: this environment has setuptools but no wheel package,
+so editable installs must go through the non-PEP-517 path
+(``pip install -e . --no-use-pep517 --no-build-isolation``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,162 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+run         Run one scheme on one workload and print the result summary.
+compare     Run several schemes on one workload, normalized to the first.
+experiments Regenerate the paper's tables/figures (wraps run_all).
+schemes     List available schemes.
+workloads   List available workloads.
+zsearch     Run the IR-Alloc greedy Z-search on a given tree geometry.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .config import SystemConfig
+from .core.ir_alloc import find_z_allocation
+from .core.schemes import SCHEMES
+from .sim.runner import random_trace_evaluator, run_benchmark
+from .traces.benchmarks import BENCHMARKS
+
+
+def _add_platform_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--levels", type=int, default=15,
+                        help="ORAM tree levels (default 15; paper uses 25)")
+    parser.add_argument("--records", type=int, default=5000,
+                        help="trace records to simulate")
+    parser.add_argument("--seed", type=int, default=7)
+
+
+def _platform(args: argparse.Namespace) -> SystemConfig:
+    return SystemConfig.scaled(levels=args.levels)
+
+
+def _print_result(name: str, result, baseline=None) -> None:
+    speedup = "" if baseline is None else (
+        f"  speedup={baseline.cycles / result.cycles:5.2f}x"
+    )
+    mix = ", ".join(
+        f"{key}={value:.1%}"
+        for key, value in result.path_type_distribution().items()
+        if value > 0.0005
+    )
+    print(f"{name:<26} cycles={result.cycles:>12,}{speedup}")
+    print(f"{'':<26} paths={result.total_paths():>8,.0f}  [{mix}]")
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    config = _platform(args)
+    result = run_benchmark(
+        args.scheme, args.workload, config, records=args.records,
+        seed=args.seed,
+    )
+    _print_result(f"{args.scheme} on {args.workload}", result)
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    config = _platform(args)
+    baseline = None
+    for scheme in args.schemes:
+        result = run_benchmark(
+            scheme, args.workload, config, records=args.records,
+            seed=args.seed,
+        )
+        _print_result(scheme, result, baseline)
+        if baseline is None:
+            baseline = result
+    return 0
+
+
+def cmd_experiments(args: argparse.Namespace) -> int:
+    from .experiments import run_all
+
+    run_all.main(args.ids)
+    return 0
+
+
+def cmd_schemes(_args: argparse.Namespace) -> int:
+    for name, scheme in SCHEMES.items():
+        print(f"{name:<26} {scheme.description}")
+    return 0
+
+
+def cmd_workloads(_args: argparse.Namespace) -> int:
+    for name, model in BENCHMARKS.items():
+        print(f"{name:<6} {model.suite:<7} read={model.read_mpki:<6} "
+              f"write={model.write_mpki:<6}")
+    print(f"{'mix':<6} {'-':<7} three-benchmark mix (gcc/mcf/lbm)")
+    print(f"{'random':<6} {'-':<7} uniform random accesses")
+    return 0
+
+
+def cmd_zsearch(args: argparse.Namespace) -> int:
+    config = _platform(args)
+    evaluate = random_trace_evaluator(config, records=args.records,
+                                      seed=args.seed)
+    print(f"searching Z allocation for L={config.oram.levels} "
+          f"(uniform PL={config.oram.blocks_per_path()}) ...")
+    best = find_z_allocation(
+        config.oram,
+        evaluate,
+        max_space_reduction=args.max_space_reduction,
+        max_eviction_increase=args.max_eviction_increase,
+    )
+    print(f"z vector : {list(best.z_per_level)}")
+    print(f"PL       : {best.blocks_per_path()} blocks per path")
+    print(f"space    : -{best.space_reduction_vs_uniform():.2%} vs uniform")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="IR-ORAM (HPCA 2022) reproduction"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run one scheme on one workload")
+    run_p.add_argument("scheme", choices=sorted(SCHEMES))
+    run_p.add_argument("workload")
+    _add_platform_args(run_p)
+    run_p.set_defaults(func=cmd_run)
+
+    cmp_p = sub.add_parser("compare", help="compare schemes on a workload")
+    cmp_p.add_argument("workload")
+    cmp_p.add_argument(
+        "--schemes", nargs="+",
+        default=["Baseline", "IR-Alloc", "IR-Stash", "IR-DWB", "IR-ORAM"],
+    )
+    _add_platform_args(cmp_p)
+    cmp_p.set_defaults(func=cmd_compare)
+
+    exp_p = sub.add_parser("experiments", help="regenerate tables/figures")
+    exp_p.add_argument("ids", nargs="*", help='e.g. "Fig. 10" "Table II"')
+    exp_p.set_defaults(func=cmd_experiments)
+
+    sub.add_parser("schemes", help="list schemes").set_defaults(
+        func=cmd_schemes
+    )
+    sub.add_parser("workloads", help="list workloads").set_defaults(
+        func=cmd_workloads
+    )
+
+    zs_p = sub.add_parser("zsearch", help="greedy IR-Alloc Z-search")
+    _add_platform_args(zs_p)
+    zs_p.add_argument("--max-space-reduction", type=float, default=0.03)
+    zs_p.add_argument("--max-eviction-increase", type=float, default=0.15)
+    zs_p.set_defaults(func=cmd_zsearch)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,6 @@
+"""Analysis utilities: design-space sweeps and report generation."""
+
+from .report import render_markdown, write_report
+from .sweep import SweepResult, sweep_parameter
+
+__all__ = ["sweep_parameter", "SweepResult", "render_markdown", "write_report"]

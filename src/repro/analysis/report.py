@@ -1,0 +1,69 @@
+"""Render experiment results into a Markdown report.
+
+Turns a list of :class:`~repro.experiments.common.ExperimentResult` (or
+:class:`~repro.analysis.sweep.SweepResult`) objects into a single document
+— the machinery behind regenerating EXPERIMENTS-style write-ups from a
+fresh run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, List, Union
+
+from ..experiments.common import ExperimentResult
+from .sweep import SweepResult
+
+Renderable = Union[ExperimentResult, SweepResult]
+
+
+def _markdown_table(headers: List[str], rows: List[List[object]]) -> List[str]:
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.3f}"
+        return str(cell)
+
+    lines = [
+        "| " + " | ".join(str(h) for h in headers) + " |",
+        "|" + "|".join("---" for _ in headers) + "|",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(fmt(cell) for cell in row) + " |")
+    return lines
+
+
+def render_markdown(results: Iterable[Renderable], title: str = "Results") -> str:
+    lines = [f"# {title}", ""]
+    for result in results:
+        if isinstance(result, ExperimentResult):
+            lines.append(f"## {result.experiment_id}: {result.title}")
+            lines.append("")
+            if result.paper_claim:
+                lines.append(f"*Paper:* {result.paper_claim}")
+                lines.append("")
+            lines.extend(_markdown_table(result.headers, result.rows))
+            for note in result.notes:
+                lines.append("")
+                lines.append(f"> {note}")
+        elif isinstance(result, SweepResult):
+            lines.append(
+                f"## Sweep: {result.parameter} "
+                f"({result.scheme} on {result.workload})"
+            )
+            lines.append("")
+            lines.extend(_markdown_table(SweepResult.HEADERS, result.table()))
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"cannot render {type(result)!r}")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def write_report(
+    results: Iterable[Renderable],
+    path: Union[str, Path],
+    title: str = "Results",
+) -> Path:
+    """Render and write the report; returns the path written."""
+    destination = Path(path)
+    destination.write_text(render_markdown(results, title))
+    return destination

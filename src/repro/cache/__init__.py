@@ -1,0 +1,6 @@
+"""On-chip caches: a generic set-associative write-back cache and the LLC."""
+
+from .cache import EvictedLine, SetAssocCache
+from .llc import LastLevelCache
+
+__all__ = ["SetAssocCache", "EvictedLine", "LastLevelCache"]

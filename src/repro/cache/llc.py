@@ -1,0 +1,62 @@
+"""The last-level cache, with the dirty-LRU scan machinery IR-DWB relies on.
+
+Beyond a plain set-associative cache, the LLC exposes the small state
+machine of Section IV-D: a register ``Ptr`` that round-robins across cache
+sets looking for a *dirty LRU* line (autonomous eager-writeback style, Lee
+et al.).  IR-DWB locks the pointed line while its staged write-back is in
+flight and aborts if the line stops being the LRU or is evicted.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..config import CacheConfig
+from ..stats import Stats
+from .cache import EvictedLine, SetAssocCache
+
+
+class LastLevelCache(SetAssocCache):
+    """LLC with round-robin dirty-LRU candidate search."""
+
+    #: cycles to pause after a full fruitless sweep (Section IV-D)
+    SEARCH_PAUSE = 1000
+
+    def __init__(self, config: CacheConfig, stats: Optional[Stats] = None) -> None:
+        super().__init__(config, stats, name="llc")
+        self._scan_set = 0
+        self._paused_until = 0
+
+    def find_dirty_lru(
+        self, now: int, max_sets: Optional[int] = None
+    ) -> Optional[Tuple[int, int]]:
+        """Round-robin search for a dirty LRU line.
+
+        Returns ``(set_index, block)`` of the first dirty LRU found starting
+        from the scan cursor, advancing the cursor past it.  Scans at most
+        ``max_sets`` sets (default: one full sweep).  If the sweep finds
+        nothing, the search pauses for :data:`SEARCH_PAUSE` cycles and
+        restarts from a pseudo-random set, as the paper describes.
+        """
+        if now < self._paused_until:
+            return None
+        sets = self.config.sets
+        budget = sets if max_sets is None else min(max_sets, sets)
+        for _ in range(budget):
+            index = self._scan_set
+            self._scan_set = (self._scan_set + 1) % sets
+            lru = self.lru_line(index)
+            if lru is not None and lru[1]:
+                self.stats.inc("llc.dwb_candidates_found")
+                return index, lru[0]
+        if budget >= sets:
+            # A full fruitless sweep pauses the search and restarts it from
+            # a deterministic pseudo-random set (reproducible simulation).
+            self._paused_until = now + self.SEARCH_PAUSE
+            self._scan_set = (now * 2654435761) % sets
+            self.stats.inc("llc.dwb_search_pauses")
+        return None
+
+    def evict_for_writeback(self, block: int) -> Optional[EvictedLine]:
+        """Remove a line as part of a demand replacement (normal eviction)."""
+        return self.invalidate(block)

@@ -1,0 +1,26 @@
+"""IR-ORAM: the paper's contribution — IR-Alloc, IR-Stash, and IR-DWB."""
+
+from .ir_alloc import (
+    PAPER_ALLOC_CONFIGS,
+    AllocPlan,
+    apply_alloc_plan,
+    find_z_allocation,
+    scale_plan,
+)
+from .ir_dwb import DWBEngine
+from .ir_stash import SStash
+from .schemes import SCHEMES, Scheme, SimComponents, build_scheme
+
+__all__ = [
+    "SStash",
+    "DWBEngine",
+    "AllocPlan",
+    "PAPER_ALLOC_CONFIGS",
+    "apply_alloc_plan",
+    "scale_plan",
+    "find_z_allocation",
+    "Scheme",
+    "SCHEMES",
+    "SimComponents",
+    "build_scheme",
+]

@@ -1,0 +1,178 @@
+"""IR-Alloc: utilization-aware per-level bucket sizing (Section IV-B).
+
+Middle tree levels run at low space utilization (Fig. 3), so their buckets
+can shrink below the uniform Z=4 without hurting the protocol: each path
+then moves fewer blocks, cutting the memory intensity of *every* path type.
+
+This module provides:
+
+* :class:`AllocPlan` — a set of ``(first_level, last_level, z)`` ranges
+  over the paper-scale tree (L=25, top 10 levels cached);
+* the four configurations of Section VI-B (``IR-Alloc1``..``IR-Alloc4``)
+  plus the combined IR-ORAM allocation of Fig. 10;
+* :func:`scale_plan` — proportional re-mapping of a plan onto a smaller
+  tree (used by the scaled default experiments);
+* :func:`find_z_allocation` — the paper's greedy, application-independent
+  Z-search under the two constraints (space reduction within a budget,
+  background-eviction increase within a budget) driven by random traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from ..config import ORAMConfig
+from ..errors import ConfigError
+
+#: (first_level, last_level, z) — inclusive level range, paper notation.
+Range = Tuple[int, int, int]
+
+
+@dataclass(frozen=True)
+class AllocPlan:
+    """A non-uniform allocation over a reference tree geometry."""
+
+    name: str
+    ranges: Tuple[Range, ...]
+    levels: int = 25
+    top_cached: int = 10
+    default_z: int = 4
+
+    def z_vector(self) -> Tuple[int, ...]:
+        """Per-level bucket sizes over the reference geometry."""
+        z = [self.default_z] * self.levels
+        for first, last, value in self.ranges:
+            if not self.top_cached <= first <= last < self.levels:
+                raise ConfigError(f"range {first}..{last} outside tree")
+            for level in range(first, last + 1):
+                z[level] = value
+        return tuple(z)
+
+    def blocks_per_path(self) -> int:
+        """PL: blocks fetched from memory per path (Section VI-B)."""
+        z = self.z_vector()
+        return sum(z[level] for level in range(self.top_cached, self.levels))
+
+
+#: Section VI-B's explicit configurations.  ``IR-Alloc4`` is the standalone
+#: "IR-Alloc" scheme of Fig. 10 (PL=36); the combined IR-ORAM configuration
+#: uses the milder Z=2/Z=3 ranges (PL=43) because adding IR-Stash shifts
+#: the background-eviction trade-off (the paper re-runs the search).
+PAPER_ALLOC_CONFIGS: Dict[str, AllocPlan] = {
+    "IR-Alloc1": AllocPlan("IR-Alloc1", ((10, 16, 2), (17, 19, 3))),
+    "IR-Alloc2": AllocPlan("IR-Alloc2", ((10, 16, 2), (17, 18, 2))),
+    "IR-Alloc3": AllocPlan("IR-Alloc3", ((10, 14, 1), (15, 18, 2))),
+    "IR-Alloc4": AllocPlan("IR-Alloc4", ((10, 15, 1), (16, 18, 2))),
+    "IR-ORAM": AllocPlan("IR-ORAM", ((10, 16, 2), (17, 19, 3))),
+}
+
+
+def scale_plan(plan: AllocPlan, levels: int, top_cached: int) -> Tuple[int, ...]:
+    """Project a paper-scale plan onto a different tree geometry.
+
+    Each memory level of the target tree is mapped to its proportional
+    position within the reference tree's memory-level span and takes the Z
+    value the plan assigns there.  Cached top levels keep the default Z
+    (they live on chip; their memory allocation is irrelevant and the
+    bucket structure is preserved for the tree-top store).
+    """
+    if levels < 2 or not 0 <= top_cached < levels:
+        raise ConfigError("invalid target geometry")
+    reference = plan.z_vector()
+    ref_span = plan.levels - plan.top_cached
+    span = levels - top_cached
+    z: List[int] = [plan.default_z] * levels
+    for level in range(top_cached, levels):
+        frac = (level - top_cached) / span
+        ref_level = plan.top_cached + min(ref_span - 1, int(frac * ref_span))
+        z[level] = reference[ref_level]
+    return tuple(z)
+
+
+def apply_alloc_plan(config: ORAMConfig, plan: AllocPlan) -> ORAMConfig:
+    """Return a copy of ``config`` with the plan's allocation applied.
+
+    When the config's geometry matches the plan's reference geometry the
+    plan applies directly; otherwise it is proportionally scaled.
+    """
+    if config.levels == plan.levels and config.top_cached_levels == plan.top_cached:
+        vector = plan.z_vector()
+    else:
+        vector = scale_plan(plan, config.levels, config.top_cached_levels)
+    return config.with_z_vector(vector)
+
+
+# ----------------------------------------------------------------------
+# the greedy Z-search
+# ----------------------------------------------------------------------
+
+#: evaluation callback: runs a random-trace simulation and reports
+#: {"cycles": ..., "evictions": ...}
+EvalFn = Callable[[ORAMConfig], Dict[str, float]]
+
+
+def find_z_allocation(
+    config: ORAMConfig,
+    evaluate: EvalFn,
+    max_space_reduction: float = 0.01,
+    max_eviction_increase: float = 0.15,
+    min_z: int = 1,
+) -> ORAMConfig:
+    """Greedy Z-search (Section IV-B).
+
+    Starting from the uniform allocation, repeatedly try decrementing the
+    bucket size of each memory level (keeping the vector non-decreasing
+    from the cached top toward the leaves, as all the paper's plans are)
+    and keep the best candidate that improves simulated random-trace
+    performance while satisfying both constraints:
+
+    * total slot loss vs the uniform tree stays within
+      ``max_space_reduction``;
+    * background evictions grow by at most ``max_eviction_increase`` over
+      the uniform baseline.
+
+    The search is application-independent: it only ever runs random traces
+    (the worst case for middle-level utilization), exactly as the paper
+    prescribes, and is run once per ORAM geometry.
+    """
+    baseline = evaluate(config)
+    base_evictions = max(baseline["evictions"], 1.0)
+    best_config = config
+    best_cycles = baseline["cycles"]
+    eviction_cap = base_evictions * (1.0 + max_eviction_increase)
+
+    improved = True
+    while improved:
+        improved = False
+        for candidate in _candidate_moves(best_config, min_z):
+            if candidate.space_reduction_vs_uniform() > max_space_reduction:
+                continue
+            result = evaluate(candidate)
+            if result["evictions"] > eviction_cap:
+                continue
+            if result["cycles"] < best_cycles:
+                best_cycles = result["cycles"]
+                best_config = candidate
+                improved = True
+                break
+    return best_config
+
+
+def _candidate_moves(config: ORAMConfig, min_z: int) -> Sequence[ORAMConfig]:
+    """All single-level decrements preserving monotone non-decreasing Z."""
+    z = list(config.z_per_level)
+    top = config.top_cached_levels
+    moves: List[ORAMConfig] = []
+    for level in range(top, config.levels):
+        if z[level] <= min_z:
+            continue
+        if level > top and z[level] - 1 < z[level - 1]:
+            continue
+        candidate = list(z)
+        candidate[level] -= 1
+        try:
+            moves.append(config.with_z_vector(candidate))
+        except ConfigError:
+            continue
+    return moves

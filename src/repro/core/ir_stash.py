@@ -1,0 +1,115 @@
+"""IR-Stash: the double-indexed set-associative sub-stash (Section IV-C).
+
+The tree top is held in *S-Stash*, a set-associative structure indexed two
+ways:
+
+* by **block address** (hashed with MD5, as the paper specifies), so the
+  LLC can ask "is block b on chip?" directly — eliminating the PosMap
+  access that the dedicated-tree-top-cache baseline wastes whenever the
+  requested block was sitting in the cached top;
+* by **tree position** through the TT pointer table, so the ORAM
+  controller can still walk the cached segment of a path bucket-by-bucket
+  during read/write phases.
+
+In the simulator the tree object itself stores top-level bucket contents
+(that is the TT view); this class maintains the block-address index and
+enforces the set-associativity constraint on placement: a block whose
+target set is full is skipped for this write phase and retried later
+("we skip picking this block for this round").
+"""
+
+from __future__ import annotations
+
+import hashlib
+from functools import lru_cache
+from typing import Dict, Optional
+
+from ..config import ORAMConfig
+from ..errors import ProtocolError
+from ..oram.treetop import TreeTopCache
+from ..stats import Stats
+
+
+@lru_cache(maxsize=1 << 16)
+def _md5_index(block: int, sets: int) -> int:
+    """MD5-based set index, cached per (block, sets)."""
+    digest = hashlib.md5(block.to_bytes(8, "little")).digest()
+    return int.from_bytes(digest[:4], "little") % sets
+
+
+class SStash(TreeTopCache):
+    """Set-associative, double-indexed tree-top store."""
+
+    addressable_by_block = True
+
+    #: bits per TT pointer (the paper uses 12-bit pointers)
+    POINTER_BITS = 12
+
+    def __init__(
+        self,
+        config: ORAMConfig,
+        stats: Optional[Stats] = None,
+        ways: int = 4,
+    ) -> None:
+        super().__init__(config, stats)
+        if ways < 1:
+            raise ProtocolError("S-Stash needs at least one way")
+        self.ways = ways
+        capacity = self.capacity_entries()
+        sets = max(1, capacity // ways)
+        # round up to a power of two for clean indexing
+        self.sets = 1 << (sets - 1).bit_length()
+        self._set_count: Dict[int, int] = {}
+        self._resident: Dict[int, int] = {}
+
+    # -- block-address index -----------------------------------------------------
+    def set_of(self, block: int) -> int:
+        return _md5_index(block, self.sets)
+
+    def lookup_by_address(self, block: int) -> bool:
+        hit = block in self._resident
+        self.stats.inc("sstash.probe_hits" if hit else "sstash.probe_misses")
+        return hit
+
+    def resident_count(self) -> int:
+        return len(self._resident)
+
+    # -- placement constraint ---------------------------------------------------
+    def may_place(self, block: int) -> bool:
+        return self._set_count.get(self.set_of(block), 0) < self.ways
+
+    def on_place(self, block: int) -> None:
+        if block in self._resident:
+            raise ProtocolError(f"block {block} already in S-Stash")
+        index = self.set_of(block)
+        count = self._set_count.get(index, 0)
+        if count >= self.ways:
+            raise ProtocolError(f"S-Stash set {index} overfull")
+        self._set_count[index] = count + 1
+        self._resident[block] = index
+        self.stats.inc("sstash.placed")
+
+    def on_remove(self, block: int) -> None:
+        index = self._resident.pop(block, None)
+        if index is None:
+            raise ProtocolError(f"block {block} not in S-Stash")
+        self._set_count[index] -= 1
+        if self._set_count[index] == 0:
+            del self._set_count[index]
+        self.stats.inc("sstash.removed")
+
+    # -- overheads (Section VI-F) ------------------------------------------------
+    def tt_table_bits(self) -> int:
+        """Size of the TT pointer table keeping the tree structure."""
+        buckets = (1 << self.levels) - 1
+        max_z = max(
+            (self.config.z_per_level[level] for level in range(self.levels)),
+            default=0,
+        )
+        return buckets * max_z * self.POINTER_BITS
+
+    def describe(self) -> str:
+        return (
+            f"S-Stash: top {self.levels} levels, {self.sets} sets x "
+            f"{self.ways} ways, TT table {self.tt_table_bits() // 8} bytes"
+        )

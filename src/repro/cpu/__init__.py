@@ -1,0 +1,5 @@
+"""Trace-driven processor front end."""
+
+from .processor import MemoryOp, Processor
+
+__all__ = ["Processor", "MemoryOp"]

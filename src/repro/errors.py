@@ -1,0 +1,27 @@
+"""Exception hierarchy for the IR-ORAM reproduction library."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigError(ReproError):
+    """An invalid or inconsistent configuration was supplied."""
+
+
+class ProtocolError(ReproError):
+    """The ORAM protocol reached a state that should be impossible."""
+
+
+class StashOverflowError(ProtocolError):
+    """The stash exceeded its hard capacity with background eviction disabled.
+
+    Path ORAM without background eviction fails if the stash overflows
+    (Stefanov et al.).  Ren et al.'s background eviction converts this
+    correctness problem into a performance trade-off; this error is only
+    raised when eviction is explicitly disabled.
+    """
+
+
+class TraceError(ReproError):
+    """A memory trace is malformed or exhausted unexpectedly."""

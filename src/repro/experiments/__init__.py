@@ -1,0 +1,9 @@
+"""Regenerators for every table and figure in the paper's evaluation.
+
+Each module exposes ``run(...) -> ExperimentResult`` and prints the same
+rows/series the paper reports.  ``run_all`` executes the whole suite.
+"""
+
+from .common import ExperimentResult, experiment_config, experiment_records
+
+__all__ = ["ExperimentResult", "experiment_config", "experiment_records"]

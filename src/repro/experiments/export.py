@@ -1,0 +1,46 @@
+"""Export a full regeneration run as a Markdown report.
+
+Runs every experiment (or a subset) and renders one document with the
+paper claims next to the measured tables — the machinery used to produce
+the results section of EXPERIMENTS.md from a fresh run.
+
+Usage::
+
+    python -m repro.experiments.export RESULTS.md
+    REPRO_RECORDS=2000 python -m repro.experiments.export quick.md "Fig. 10"
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from ..analysis.report import write_report
+from .run_all import ALL_EXPERIMENTS
+
+
+def export(path: str, ids: Optional[List[str]] = None) -> Path:
+    selected = set(ids or [])
+    results = []
+    for name, runner in ALL_EXPERIMENTS:
+        if selected and name not in selected:
+            continue
+        results.append(runner())
+    return write_report(
+        results, path, title="IR-ORAM reproduction — regenerated results"
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = argv if argv is not None else sys.argv[1:]
+    if not argv:
+        print(__doc__)
+        return 2
+    destination = export(argv[0], argv[1:])
+    print(f"wrote {destination}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

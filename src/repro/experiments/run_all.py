@@ -1,0 +1,76 @@
+"""Run every experiment regenerator and print the paper-vs-measured tables.
+
+Usage::
+
+    python -m repro.experiments.run_all               # full suite
+    REPRO_RECORDS=2000 python -m repro.experiments.run_all
+    REPRO_WORKLOADS=gcc,mcf,lbm python -m repro.experiments.run_all
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Callable, List, Tuple
+
+from . import (
+    ablation_timing,
+    fig02_path_types,
+    fig03_utilization,
+    fig04_utilization_per_bench,
+    fig05_migration,
+    fig06_treetop_reuse,
+    fig07_alloc_example,
+    fig10_performance,
+    fig11_llcd,
+    fig12_alloc_configs,
+    fig13_alloc_utilization,
+    fig14_posmap,
+    fig15_dwb_distribution,
+    fig16_scalability,
+    table1_config,
+    table2_benchmarks,
+    zsearch,
+)
+from .common import ExperimentResult
+
+ALL_EXPERIMENTS: List[Tuple[str, Callable[[], ExperimentResult]]] = [
+    ("Table I", table1_config.run),
+    ("Table II", table2_benchmarks.run),
+    ("Fig. 2", fig02_path_types.run),
+    ("Fig. 3", fig03_utilization.run),
+    ("Fig. 4", fig04_utilization_per_bench.run),
+    ("Fig. 5", fig05_migration.run),
+    ("Fig. 6", fig06_treetop_reuse.run),
+    ("Fig. 7", fig07_alloc_example.run),
+    ("Fig. 10", fig10_performance.run),
+    ("Fig. 11", fig11_llcd.run),
+    ("Fig. 12", fig12_alloc_configs.run),
+    ("Fig. 13", fig13_alloc_utilization.run),
+    ("Fig. 14", fig14_posmap.run),
+    ("Fig. 15", fig15_dwb_distribution.run),
+    ("Fig. 16", fig16_scalability.run),
+    ("Ablation", ablation_timing.run),
+    ("Z-search", zsearch.run),
+]
+
+
+def main(argv: List[str] = None) -> List[ExperimentResult]:
+    argv = argv if argv is not None else sys.argv[1:]
+    selected = set(argv)
+    results = []
+    for name, runner in ALL_EXPERIMENTS:
+        if selected and name not in selected:
+            continue
+        start = time.time()
+        result = runner()
+        elapsed = time.time() - start
+        print(result.to_text())
+        print(f"[{name} regenerated in {elapsed:.1f}s]")
+        print()
+        results.append(result)
+    return results
+
+
+if __name__ == "__main__":
+    main()

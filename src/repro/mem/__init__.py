@@ -1,0 +1,7 @@
+"""Off-chip memory subsystem: subtree-aware layout and DRAM timing model."""
+
+from .dram import DRAMModel
+from .layout import TreeLayout
+from .request import MemAccess
+
+__all__ = ["DRAMModel", "TreeLayout", "MemAccess"]

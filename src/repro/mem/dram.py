@@ -1,0 +1,154 @@
+"""Cycle-approximate DRAM timing model (USIMM-like).
+
+The paper evaluates with USIMM, a cycle-accurate DRAM simulator.  We model
+the first-order behaviour USIMM provides to an ORAM study:
+
+* per-channel data buses with burst occupancy;
+* per-bank row buffers with activate/precharge penalties on row misses;
+* bank-level parallelism within and across channels;
+* a close-to-FR-FCFS effect obtained by servicing each path's accesses in
+  address order (the subtree layout then yields row hits within supernodes).
+
+The model is driven in *batches*: the ORAM controller hands over all block
+accesses of one path phase at once and receives the cycle at which the
+phase completes.  All public times are in CPU cycles (3.2 GHz); internal
+state is kept in DRAM cycles (800 MHz).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+from ..config import DRAMConfig
+from ..stats import Stats
+from .request import MemAccess
+
+
+class _Bank:
+    __slots__ = ("open_row", "ready")
+
+    def __init__(self) -> None:
+        self.open_row: Optional[int] = None
+        self.ready: int = 0
+
+
+class DRAMModel:
+    """State-holding DRAM timing engine.
+
+    Addressing: physical block address -> row via ``row_blocks``; rows are
+    striped across channels first, then banks, so consecutive rows (and thus
+    consecutive supernodes along a path) exploit channel parallelism.
+    """
+
+    def __init__(self, config: DRAMConfig, stats: Optional[Stats] = None) -> None:
+        self.config = config
+        self.stats = stats if stats is not None else Stats()
+        self._banks = [
+            [_Bank() for _ in range(config.banks_per_channel)]
+            for _ in range(config.channels)
+        ]
+        self._bus_free = [0] * config.channels
+
+    # -- address decomposition ----------------------------------------------
+    def decompose(self, phys_block: int) -> Tuple[int, int, int]:
+        """Return ``(channel, bank, row)`` for a physical block address."""
+        cfg = self.config
+        row = phys_block // cfg.row_blocks
+        channel = row % cfg.channels
+        bank = (row // cfg.channels) % cfg.banks_per_channel
+        return channel, bank, row
+
+    # -- timing --------------------------------------------------------------
+    def service_batch(self, accesses: Iterable[MemAccess], start_cycle: int) -> int:
+        """Service a batch of block accesses; return the completion cycle.
+
+        ``start_cycle`` and the return value are CPU cycles.  Accesses are
+        serviced in the order given; callers wanting row-buffer locality
+        should present them sorted by physical address (path reads from the
+        subtree layout already are).
+        """
+        accesses = list(accesses)
+        writes = sum(1 for access in accesses if access.is_write)
+        addresses = [access.phys_block for access in accesses]
+        is_write = writes == len(addresses)
+        if 0 < writes < len(addresses):
+            # Mixed batch: split to keep per-direction counters exact.
+            finish = start_cycle
+            for access in accesses:
+                finish = self.service_addresses(
+                    [access.phys_block], access.is_write, finish
+                )
+            return finish
+        return self.service_addresses(addresses, is_write, start_cycle)
+
+    def service_addresses(
+        self, addresses: List[int], is_write: bool, start_cycle: int
+    ) -> int:
+        """Fast path: service raw physical block addresses in order."""
+        cfg = self.config
+        row_blocks = cfg.row_blocks
+        channels = cfg.channels
+        banks_per_channel = cfg.banks_per_channel
+        now_dram = -(-start_cycle // cfg.cpu_cycles_per_dram_cycle)
+        finish = now_dram
+        row_hits = 0
+        conflicts = 0
+        cas_burst = cfg.t_cas + cfg.t_burst
+        bus_free = self._bus_free
+        for phys_block in addresses:
+            row = phys_block // row_blocks
+            channel = row % channels
+            bank = self._banks[channel][(row // channels) % banks_per_channel]
+            t = bank.ready
+            free = bus_free[channel]
+            if free > t:
+                t = free
+            if now_dram > t:
+                t = now_dram
+            if bank.open_row != row:
+                if bank.open_row is not None:
+                    t += cfg.t_rp
+                    conflicts += 1
+                t += cfg.t_rcd
+                bank.open_row = row
+            else:
+                row_hits += 1
+            # Column accesses pipeline: the next command can issue after
+            # one burst slot; the data itself lands tCAS later.
+            done = t + cas_burst
+            next_slot = t + cfg.t_burst
+            bus_free[channel] = next_slot
+            bank.ready = next_slot
+            if done > finish:
+                finish = done
+        count = len(addresses)
+        self.stats.inc("dram.accesses", count)
+        self.stats.inc("dram.row_hits", row_hits)
+        self.stats.inc("dram.row_conflicts", conflicts)
+        self.stats.inc("dram.writes" if is_write else "dram.reads", count)
+        return finish * cfg.cpu_cycles_per_dram_cycle
+
+    def access_latency(self, access: MemAccess, start_cycle: int) -> int:
+        """Service a single access; convenience wrapper over a batch of one."""
+        return self.service_batch([access], start_cycle)
+
+    # -- inspection -----------------------------------------------------------
+    def row_hit_rate(self) -> float:
+        hits = self.stats.get("dram.row_hits")
+        total = self.stats.get("dram.accesses")
+        return hits / total if total else 0.0
+
+    def reset_state(self) -> None:
+        """Close all rows and idle all buses; counters are preserved."""
+        for channel in self._banks:
+            for bank in channel:
+                bank.open_row = None
+                bank.ready = 0
+        self._bus_free = [0] * self.config.channels
+
+
+def batch_from_addresses(
+    addresses: Iterable[int], is_write: bool
+) -> List[MemAccess]:
+    """Build a batch of :class:`MemAccess` from raw physical addresses."""
+    return [MemAccess(addr, is_write) for addr in addresses]

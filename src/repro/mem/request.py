@@ -1,0 +1,22 @@
+"""Block-granularity memory access descriptors exchanged with the DRAM model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MemAccess:
+    """One 64-byte block transfer to or from off-chip memory.
+
+    ``phys_block`` is a physical block address produced by
+    :class:`repro.mem.layout.TreeLayout` (tree slots) or by the plain linear
+    region used for non-ORAM experiments.
+    """
+
+    phys_block: int
+    is_write: bool = False
+
+    def __post_init__(self) -> None:
+        if self.phys_block < 0:
+            raise ValueError("physical block address must be non-negative")

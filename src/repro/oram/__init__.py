@@ -1,0 +1,27 @@
+"""Path ORAM substrate: tree, stash, position maps, PLB, and controller."""
+
+from .controller import PathORAMController
+from .integrity import IntegrityError, MerkleIntegrity, attach_integrity
+from .plb import PLB
+from .posmap import PositionMap
+from .stash import Stash
+from .tree import ORAMTree
+from .treetop import TreeTopCache
+from .types import BlockKind, Namespace, PathType, Request, RequestKind
+
+__all__ = [
+    "PathORAMController",
+    "MerkleIntegrity",
+    "IntegrityError",
+    "attach_integrity",
+    "ORAMTree",
+    "Stash",
+    "PositionMap",
+    "PLB",
+    "TreeTopCache",
+    "PathType",
+    "BlockKind",
+    "RequestKind",
+    "Request",
+    "Namespace",
+]

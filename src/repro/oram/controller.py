@@ -1,0 +1,707 @@
+"""The Path ORAM controller.
+
+Implements the full protocol of Section II-B on top of the tree, stash,
+PosMap/PLB, tree-top cache, and DRAM model:
+
+* the stash/PosMap/PLB phase (with Freecursive recursion through the merged
+  namespace: a PLB miss on a PosMap1 block triggers a PosMap2 consultation,
+  and each missing PosMap block costs a full, externally indistinguishable
+  path access);
+* the path read phase (cached top levels are free; deeper levels generate
+  ``Z_l`` block reads per level through the DRAM model);
+* the block remap phase (uniform random leaf; the parent PosMap block,
+  which translation pinned in the PLB, is dirtied);
+* the path write phase (greedy bottom-up placement from the stash);
+* background eviction (Ren et al.) when the stash exceeds its threshold;
+* timing-channel protection (Fletcher et al.): one path access per T
+  cycles, with dummy paths — or IR-DWB conversions — filling empty slots;
+* the LLC-D delayed remapping policy (Nagarajan et al.) as an alternative
+  remap policy;
+* dirty PLB evictions written back through full ORAM accesses.
+
+The controller is deliberately *stateless per request chain*: at every
+issue slot it recomputes the next path the head request needs from current
+PLB/stash state.  Chains therefore interleave naturally with background
+evictions and internal PosMap write-backs.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, List, Optional, Set, Tuple
+
+from ..config import SystemConfig
+from ..errors import ProtocolError
+from ..mem.dram import DRAMModel
+from ..mem.layout import TreeLayout
+from ..stats import Stats
+from .plb import PLB
+from .posmap import PositionMap
+from .stash import Stash
+from .tree import EMPTY, ORAMTree
+from .treetop import TreeTopCache
+from .types import (
+    BlockKind,
+    Namespace,
+    PathAccessRecord,
+    PathType,
+    Request,
+    RequestKind,
+)
+
+#: Latency charged for requests served entirely on chip (stash, S-Stash,
+#: or tree-top hits): SRAM lookups plus controller occupancy.
+ONCHIP_LATENCY = 20
+
+#: After this many back-to-back eviction slots one queued request is let
+#: through, preventing starvation during eviction storms.
+MAX_CONSECUTIVE_EVICTIONS = 50
+
+
+@dataclass
+class SlotResult:
+    """Outcome of one controller decision slot."""
+
+    issued_path: bool
+    path_type: Optional[PathType]
+    start: int
+    finish_read: int
+    finish_write: int
+    completions: List[Request] = field(default_factory=list)
+
+    @property
+    def finish(self) -> int:
+        return self.finish_write
+
+
+class PathORAMController:
+    """Freecursive Path ORAM controller with pluggable IR-ORAM extensions."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        stats: Optional[Stats] = None,
+        rng: Optional[random.Random] = None,
+        treetop: Optional[TreeTopCache] = None,
+        delayed_remap: bool = False,
+    ) -> None:
+        self.config = config
+        self.oram = config.oram
+        self.stats = stats if stats is not None else Stats()
+        self.rng = rng if rng is not None else random.Random(config.seed)
+
+        self.namespace = Namespace(self.oram)
+        self.tree = ORAMTree(self.oram)
+        self.stash = Stash(self.oram.stash_capacity, self.stats)
+        self.posmap = PositionMap(self.namespace, self.oram.leaves, self.rng)
+        self.plb = PLB(self.oram, self.stats)
+        self.layout = TreeLayout(self.oram, config.dram)
+        self.dram = DRAMModel(config.dram, self.stats)
+        self.treetop = treetop if treetop is not None else TreeTopCache(
+            self.oram, self.stats
+        )
+        self.delayed_remap = delayed_remap
+
+        #: optional IR-DWB engine (duck-typed; see repro.core.ir_dwb)
+        self.dwb = None
+        #: optional security observer receiving PathAccessRecord objects
+        self.observer: Optional[Callable[[PathAccessRecord], None]] = None
+        #: when True, classify write-phase placements for Fig. 5
+        self.track_migration = False
+
+        self.queue: Deque[Request] = deque()
+        #: PosMap blocks evicted from the PLB whose re-insertion into the
+        #: tree is waiting for their parent mapping (a victim buffer).
+        self.internal_queue: Deque[int] = deque()
+        self._limbo: set = set()
+        self.path_count = 0
+        self._consecutive_evictions = 0
+        self._initialize_tree()
+
+    # ------------------------------------------------------------------
+    # initialization
+    # ------------------------------------------------------------------
+    def _initialize_tree(self) -> None:
+        """Place every namespace block into the tree along its random path."""
+        overflow = self.tree.initialize(
+            range(self.namespace.total_blocks), self.posmap.leaf_of, self.rng
+        )
+        for block in overflow:
+            self.stash.add(block, self.posmap.leaf_of(block))
+        # Mirror top-level residency into the tree-top structure.
+        top_levels = self.oram.top_cached_levels
+        for level in range(top_levels):
+            for position in range(1 << level):
+                for block in self.tree.bucket(level, position):
+                    if block != EMPTY:
+                        self.treetop.on_place(block)
+        self.stats.set("init.overflow_blocks", len(overflow))
+
+    # ------------------------------------------------------------------
+    # request intake
+    # ------------------------------------------------------------------
+    def enqueue(self, request: Request) -> None:
+        self.queue.append(request)
+        self.stats.inc(f"requests.{request.kind.value}")
+
+    def has_pending_work(self, now: int) -> bool:
+        """Real (non-dummy) work the controller could do at time ``now``."""
+        if self.internal_queue:
+            return True
+        if self.stash.over_threshold(self.oram.eviction_threshold):
+            return True
+        return bool(self.queue) and self.queue[0].arrival <= now
+
+    def has_any_real_work(self) -> bool:
+        return bool(self.queue) or bool(self.internal_queue)
+
+    def next_arrival(self) -> Optional[int]:
+        return self.queue[0].arrival if self.queue else None
+
+    # ------------------------------------------------------------------
+    # the issue slot
+    # ------------------------------------------------------------------
+    def step(self, now: int, allow_dummy: bool = True) -> Optional[SlotResult]:
+        """Run one decision slot at cycle ``now``.
+
+        Drains every request servable without memory traffic, then issues at
+        most one path access, chosen by priority: dirty PosMap write-backs,
+        background eviction, the head queued request, then (when the timing
+        defense is active and ``allow_dummy``) an IR-DWB conversion or a
+        plain dummy path.  Returns ``None`` when there is nothing to do.
+        """
+        self._drain_posmap_reinserts()
+        completions = self._drain_instant(now)
+
+        result = self._issue_priority_path(now)
+        if result is None and allow_dummy and self.oram.timing_protection:
+            result = self._dummy_slot(now)
+
+        if result is not None:
+            result.completions = completions + result.completions
+            return result
+        if completions:
+            return SlotResult(
+                issued_path=False,
+                path_type=None,
+                start=now,
+                finish_read=now,
+                finish_write=now,
+                completions=completions,
+            )
+        return None
+
+    def _issue_priority_path(self, now: int) -> Optional[SlotResult]:
+        if self.internal_queue:
+            return self._step_posmap_writeback(now)
+        over = self.stash.over_threshold(self.oram.eviction_threshold)
+        if over and self.oram.allow_background_eviction:
+            if self._consecutive_evictions < MAX_CONSECUTIVE_EVICTIONS or not (
+                self.queue and self.queue[0].arrival <= now
+            ):
+                self._consecutive_evictions += 1
+                return self._eviction_path(now)
+            self.stats.inc("eviction.storm_yields")
+        self._consecutive_evictions = 0
+        if self.queue and self.queue[0].arrival <= now:
+            return self._step_request(now)
+        return None
+
+    # ------------------------------------------------------------------
+    # instant (on-chip) servicing
+    # ------------------------------------------------------------------
+    def _drain_instant(self, now: int) -> List[Request]:
+        """Serve, without any path access, every head request that allows it."""
+        served: List[Request] = []
+        while self.queue and self.queue[0].arrival <= now:
+            request = self.queue[0]
+            if not self._try_instant(request, now):
+                break
+            self.queue.popleft()
+            served.append(request)
+        return served
+
+    def _try_instant(self, request: Request, now: int) -> bool:
+        block = request.block
+
+        # 1. stash hit (fully associative, searched by block address)
+        if block in self.stash:
+            self._serve_stash_hit(request, now)
+            return True
+
+        # 2. IR-Stash: S-Stash probe by block address — no PosMap needed.
+        if self.treetop.addressable_by_block and self.treetop.lookup_by_address(
+            block
+        ):
+            self._serve_treetop_hit_by_address(request, now)
+            return True
+
+        # 3. LLC-D re-insertion: needs only a PLB-resident parent mapping.
+        if request.kind is RequestKind.REINSERT:
+            if self._translation_chain(block):
+                return False
+            self._finish_reinsert(request, now)
+            return True
+
+        # 4. free translation + tree-top hit: when every PosMap level is in
+        #    the PLB and the block sits in the cached top of its path, the
+        #    whole access is on chip.
+        if self._translation_chain(block):
+            return False
+        leaf = self.posmap.leaf_of(block)
+        self._count_translation(request)
+        location = self._find_in_treetop(block, leaf)
+        if location is not None:
+            self._serve_treetop_hit(request, leaf, location, now)
+            return True
+        return False
+
+    def _serve_stash_hit(self, request: Request, now: int) -> None:
+        request.completion = now + ONCHIP_LATENCY
+        self.stats.inc("serve.stash_hits")
+        if request.kind is RequestKind.READ:
+            self.stats.bump("hit.level", "stash")
+        if self.delayed_remap and request.kind is RequestKind.READ:
+            # LLC-D: the block moves entirely into the LLC.
+            self.stash.remove(request.block)
+            self.posmap.discard(request.block)
+        # WRITEBACK to a stash-resident block updates it in place; REINSERT
+        # of a stash-resident block cannot happen (it would be unmapped).
+
+    def _serve_treetop_hit_by_address(self, request: Request, now: int) -> None:
+        """IR-Stash S-Stash hit: served with no PosMap access and no remap."""
+        request.completion = now + ONCHIP_LATENCY
+        self.stats.inc("serve.sstash_hits")
+        if request.kind is RequestKind.READ:
+            self.stats.bump("hit.level", "sstash")
+        if self.delayed_remap and request.kind is RequestKind.READ:
+            self._remove_from_treetop(request.block)
+            self.posmap.discard(request.block)
+
+    def _serve_treetop_hit(
+        self, request: Request, leaf: int, location: Tuple[int, int], now: int
+    ) -> None:
+        """Baseline tree-top hit after translation: on chip, no remap."""
+        level, _ = location
+        request.completion = now + ONCHIP_LATENCY
+        self.stats.inc("serve.treetop_hits")
+        if request.kind is RequestKind.READ:
+            self.stats.bump("hit.level", level)
+        if self.delayed_remap and request.kind is RequestKind.READ:
+            self._remove_from_treetop(request.block)
+            self.posmap.discard(request.block)
+
+    def _find_in_treetop(self, block: int, leaf: int) -> Optional[Tuple[int, int]]:
+        """Locate ``block`` in the cached-top portion of its path."""
+        for level in range(self.oram.top_cached_levels):
+            position = self.tree.path_position(leaf, level)
+            if block in self.tree.bucket(level, position):
+                return level, position
+        return None
+
+    def _remove_from_treetop(self, block: int) -> None:
+        """Drop a block from whatever top-level bucket holds it (LLC-D)."""
+        leaf = self.posmap.leaf_of(block)
+        location = self._find_in_treetop(block, leaf)
+        if location is None:
+            raise ProtocolError(f"block {block} vanished from tree top")
+        level, position = location
+        slots = self.tree.bucket(level, position)
+        slots[slots.index(block)] = EMPTY
+        self.tree.level_used[level] -= 1
+        self.treetop.on_remove(block)
+
+    def _finish_reinsert(self, request: Request, now: int) -> None:
+        """LLC-D: an evicted LLC line rejoins the tree via the stash."""
+        block = request.block
+        leaf = self.posmap.restore(block)
+        parent = self.namespace.parent_block(block)
+        if parent is not None:
+            self.plb.mark_dirty(parent)
+        self.stash.add(block, leaf)
+        request.completion = now + ONCHIP_LATENCY
+        self.stats.inc("serve.reinserts")
+
+    # ------------------------------------------------------------------
+    # translation (PosMap / PLB)
+    # ------------------------------------------------------------------
+    def _posmap_on_chip(self, pm_block: int) -> bool:
+        """Is a PosMap block's content available on chip?
+
+        Either resident in the PLB or sitting in the eviction victim
+        buffer awaiting re-insertion (its entries stay readable there).
+        """
+        return self.plb.contains(pm_block) or pm_block in self._limbo
+
+    def _translation_chain(self, block: int) -> List[int]:
+        """PosMap blocks that must be fetched before ``block``'s leaf is known.
+
+        Returned deepest-first: ``[pm2, pm1]``, ``[pm1]``, or ``[]``.
+        PosMap2 blocks themselves translate through the on-chip PosMap3.
+
+        As a side effect, PosMap blocks that are already on chip but not in
+        the PLB — sitting in the stash, or resident in the cached tree top —
+        are *promoted* into the PLB for free.  In the dedicated-cache
+        baseline a tree-top resident is only reachable once its parent
+        mapping is known; with IR-Stash's S-Stash it is found directly by
+        block address.
+        """
+        kind = self.namespace.kind_of(block)
+        if kind is BlockKind.POSMAP2:
+            return []
+        if kind is BlockKind.USER:
+            pm1: Optional[int] = self.namespace.posmap1_block(block)
+            pm2 = self.namespace.posmap2_block(pm1)
+        else:
+            pm1 = None
+            pm2 = self.namespace.posmap2_block(block)
+        # PosMap2 first: its own mapping is always on chip (PosMap3).
+        self._try_promote(pm2, parent_available=True)
+        pm2_ready = self._posmap_on_chip(pm2)
+        if pm1 is None:
+            return [] if pm2_ready else [pm2]
+        self._try_promote(pm1, parent_available=pm2_ready)
+        if self._posmap_on_chip(pm1):
+            return []
+        return [pm1] if pm2_ready else [pm2, pm1]
+
+    def _try_promote(self, pm_block: int, parent_available: bool) -> None:
+        """Move an on-chip-reachable PosMap block into the PLB at no cost.
+
+        The stash is fully associative and searched by block address in
+        every design, so stash-resident PosMap blocks always promote free.
+        Tree-top residents promote free only under IR-Stash: the S-Stash is
+        indexed by block address.  The dedicated-tree-top-cache baseline is
+        position-indexed and never consulted for PosMap lookups — a PLB
+        miss costs a full path access even when the block's bits happen to
+        sit on chip, which is exactly the waste Section IV-C describes.
+        """
+        del parent_available  # positional lookups are never used here
+        if self._posmap_on_chip(pm_block):
+            return
+        if pm_block in self.stash:
+            self.stash.remove(pm_block)
+            self.posmap.discard(pm_block)
+            self._fill_plb(pm_block)
+            self.stats.inc("plb.stash_promotions")
+            return
+        if self.oram.top_cached_levels == 0:
+            return
+        if not self.treetop.addressable_by_block:
+            return
+        if not self.treetop.lookup_by_address(pm_block):
+            return
+        if not self.posmap.is_mapped(pm_block):
+            return
+        leaf = self.posmap.leaf_of(pm_block)
+        location = self._find_in_treetop(pm_block, leaf)
+        if location is None:
+            return
+        level, position = location
+        slots = self.tree.bucket(level, position)
+        slots[slots.index(pm_block)] = EMPTY
+        self.tree.level_used[level] -= 1
+        self.treetop.on_remove(pm_block)
+        self.posmap.discard(pm_block)
+        self._fill_plb(pm_block)
+        self.stats.inc("plb.treetop_promotions")
+
+    def _fill_plb(self, pm_block: int) -> None:
+        victim = self.plb.fill(pm_block, dirty=True)
+        if victim is not None:
+            self._reinsert_posmap_block(victim.block)
+
+    def _count_translation(self, request: Request) -> None:
+        if getattr(request, "_translation_counted", False):
+            return
+        request._translation_counted = True  # type: ignore[attr-defined]
+        self.stats.inc("translation.completed")
+
+    # ------------------------------------------------------------------
+    # path access primitives
+    # ------------------------------------------------------------------
+    def _service_path(
+        self, leaf: int, path_type: PathType, now: int
+    ) -> Tuple[int, int, List[Tuple[int, int]]]:
+        """Common read-phase + bookkeeping for every path access.
+
+        Returns ``(finish_read, start, removed_blocks)`` where
+        ``removed_blocks`` are the real blocks pulled into the stash.
+        """
+        addresses = self.layout.path_addresses(leaf)
+        finish_read = self.dram.service_addresses(addresses, False, now)
+
+        removed = self.tree.read_and_clear(leaf)
+        top = self.oram.top_cached_levels
+        for block, level in removed:
+            if level < top:
+                self.treetop.on_remove(block)
+            self.stash.add(block, self.posmap.leaf_of(block))
+
+        self.path_count += 1
+        self.stats.inc(f"paths.{path_type.value}")
+        self.stats.inc("paths.total")
+        blocks = len(addresses)
+        self.stats.inc("mem.blocks_read", blocks)
+        self.stats.inc(f"mem.blocks.{path_type.value}", 2 * blocks)
+
+        if self.observer is not None:
+            record = PathAccessRecord(
+                issue_cycle=now,
+                leaf=leaf,
+                path_type=path_type,
+                read_addresses=list(addresses),
+                write_addresses=list(addresses),
+            )
+            self.observer(record)
+        return finish_read, now, removed
+
+    def _write_path(self, leaf: int, finish_read: int, path_type: PathType,
+                    preexisting: Optional[Set[int]] = None) -> int:
+        """Greedy bottom-up write phase; returns the write completion cycle."""
+        oram = self.oram
+        levels = oram.levels
+        top = oram.top_cached_levels
+
+        # Bucket-sort stash blocks by the deepest level they may occupy.
+        pools: List[List[int]] = [[] for _ in range(levels)]
+        for block, block_leaf in self.stash.items():
+            depth = self.tree.deepest_common_level(leaf, block_leaf)
+            pools[depth].append(block)
+
+        pool: List[int] = []
+        for level in range(levels - 1, -1, -1):
+            pool.extend(pools[level])
+            z = oram.z_per_level[level]
+            if z == 0 or not pool:
+                continue
+            position = self.tree.path_position(leaf, level)
+            rejected: List[int] = []
+            placed = 0
+            while pool and placed < z:
+                block = pool.pop()
+                if level < top and not self.treetop.may_place(block):
+                    rejected.append(block)
+                    self.stats.inc("sstash.placement_skips")
+                    continue
+                if not self.tree.place(level, position, block):
+                    raise ProtocolError("bucket full during write phase")
+                if level < top:
+                    self.treetop.on_place(block)
+                self.stash.remove(block)
+                placed += 1
+                if self.track_migration and preexisting is not None:
+                    origin = (
+                        "preexisting" if block in preexisting else "fetched"
+                    )
+                    self.stats.bump(f"migration.{origin}", level)
+            pool.extend(rejected)
+
+        addresses = self.layout.path_addresses(leaf)
+        finish_write = self.dram.service_addresses(addresses, True, finish_read)
+        self.stats.inc("mem.blocks_written", len(addresses))
+        self._after_write_phase()
+        return finish_write
+
+    def _after_write_phase(self) -> None:
+        if self.stash.over_threshold(self.oram.eviction_threshold):
+            self.stats.inc("eviction.triggers")
+
+    # ------------------------------------------------------------------
+    # full accesses
+    # ------------------------------------------------------------------
+    def full_access(
+        self,
+        block: int,
+        path_type: PathType,
+        now: int,
+        serve_request: Optional[Request] = None,
+        extract_block: bool = False,
+    ) -> SlotResult:
+        """One complete ORAM access of ``block``: read, remap, write.
+
+        Translation must already be satisfied (the parent PosMap block is in
+        the PLB or the block is a PosMap2 block).  With ``extract_block``
+        the served block is pulled out of the ORAM entirely instead of
+        being remapped (LLC-D's delayed remapping, and Rho's promotion into
+        the small tree, both work this way).
+        """
+        leaf = self.posmap.leaf_of(block)
+        preexisting = set(self.stash.blocks()) if self.track_migration else None
+        finish_read, start, removed = self._service_path(leaf, path_type, now)
+
+        if block not in self.stash:
+            raise ProtocolError(
+                f"block {block} absent from path {leaf} and stash"
+            )
+        if serve_request is not None and serve_request.kind is RequestKind.READ:
+            for found_block, level in removed:
+                if found_block == block:
+                    self.stats.bump("hit.level", level)
+                    break
+
+        extract = extract_block or (
+            self.delayed_remap
+            and serve_request is not None
+            and serve_request.kind is RequestKind.READ
+        )
+        if extract:
+            # The block leaves the ORAM (LLC-D / Rho promotion).
+            self.stash.remove(block)
+            self.posmap.discard(block)
+        else:
+            new_leaf = self.posmap.remap(block)
+            self.stash.update_leaf(block, new_leaf)
+            parent = self.namespace.parent_block(block)
+            if parent is not None:
+                if not self._posmap_on_chip(parent):
+                    raise ProtocolError(
+                        f"parent PosMap block {parent} not on chip at remap"
+                    )
+                self.plb.mark_dirty(parent)
+
+        if serve_request is not None:
+            serve_request.completion = finish_read
+            serve_request.paths_used += 1
+
+        finish_write = self._write_path(leaf, finish_read, path_type, preexisting)
+        return SlotResult(
+            issued_path=True,
+            path_type=path_type,
+            start=start,
+            finish_read=finish_read,
+            finish_write=finish_write,
+            completions=[serve_request] if serve_request is not None else [],
+        )
+
+    def fetch_posmap_block(self, pm_block: int, now: int) -> SlotResult:
+        """Fetch a PosMap block through a full path access into the PLB.
+
+        Freecursive PLB semantics are *exclusive*: the fetched block leaves
+        the tree and lives in the PLB.  The displaced victim re-enters the
+        ORAM through the stash — free when its parent mapping is on chip,
+        deferred to the victim buffer (costing parent fetch paths) when not.
+        """
+        path_type = self.namespace.path_type_for(pm_block)
+        result = self.full_access(pm_block, path_type, now, extract_block=True)
+        self.stats.inc("posmap.accesses")
+        victim = self.plb.fill(pm_block, dirty=False)
+        if victim is not None:
+            if victim.dirty:
+                self.stats.inc("plb.dirty_evictions")
+            self._reinsert_posmap_block(victim.block)
+        return result
+
+    def _reinsert_posmap_block(self, pm_block: int) -> None:
+        """Return an evicted PosMap block to the ORAM via the stash."""
+        if self._translation_chain(pm_block):
+            self.internal_queue.append(pm_block)
+            self._limbo.add(pm_block)
+            self.stats.inc("plb.deferred_reinserts")
+            return
+        leaf = self.posmap.restore(pm_block)
+        parent = self.namespace.parent_block(pm_block)
+        if parent is not None:
+            self.plb.mark_dirty(parent)
+        self.stash.add(pm_block, leaf)
+        self.stats.inc("plb.reinserts")
+
+    def _drain_posmap_reinserts(self) -> None:
+        """Complete deferred victim-buffer re-inserts whose parents arrived."""
+        pending = len(self.internal_queue)
+        for _ in range(pending):
+            pm_block = self.internal_queue.popleft()
+            self._limbo.discard(pm_block)
+            if self._translation_chain(pm_block):
+                self.internal_queue.append(pm_block)
+                self._limbo.add(pm_block)
+            else:
+                leaf = self.posmap.restore(pm_block)
+                parent = self.namespace.parent_block(pm_block)
+                if parent is not None:
+                    self.plb.mark_dirty(parent)
+                self.stash.add(pm_block, leaf)
+                self.stats.inc("plb.reinserts")
+
+    # ------------------------------------------------------------------
+    # slot bodies
+    # ------------------------------------------------------------------
+    def _step_request(self, now: int) -> Optional[SlotResult]:
+        request = self.queue[0]
+        block = request.block
+        chain = self._translation_chain(block)
+        if chain:
+            self.stats.inc(f"plb.miss_fetches")
+            return self.fetch_posmap_block(chain[0], now)
+        self._count_translation(request)
+
+        if request.kind is RequestKind.REINSERT:
+            # Translation became free mid-chain; finish instantly.
+            self.queue.popleft()
+            self._finish_reinsert(request, now)
+            return SlotResult(False, None, now, now, now, [request])
+
+        leaf = self.posmap.leaf_of(block)
+        location = self._find_in_treetop(block, leaf)
+        if location is not None:
+            self.queue.popleft()
+            self._serve_treetop_hit(request, leaf, location, now)
+            return SlotResult(False, None, now, now, now, [request])
+
+        self.queue.popleft()
+        path_type = PathType.DATA
+        if request.kind is RequestKind.WRITEBACK:
+            self.stats.inc("writeback.paths")
+        return self.full_access(block, path_type, now, serve_request=request)
+
+    def _step_posmap_writeback(self, now: int) -> SlotResult:
+        """Fetch the parent a deferred victim-buffer re-insert is waiting on."""
+        pm_block = self.internal_queue[0]
+        chain = self._translation_chain(pm_block)
+        if not chain:
+            raise ProtocolError(
+                "victim-buffer entry with a satisfied chain survived draining"
+            )
+        self.stats.inc("posmap.writeback_paths")
+        return self.fetch_posmap_block(chain[0], now)
+
+    def _eviction_path(self, now: int) -> SlotResult:
+        """Background eviction: read+write a random path, no remap, no serve."""
+        leaf = self.rng.randrange(self.oram.leaves)
+        preexisting = set(self.stash.blocks()) if self.track_migration else None
+        finish_read, start, _ = self._service_path(leaf, PathType.EVICTION, now)
+        finish_write = self._write_path(
+            leaf, finish_read, PathType.EVICTION, preexisting
+        )
+        self.stats.inc("eviction.paths")
+        self.stats.inc("eviction.cycles", finish_write - start)
+        return SlotResult(True, PathType.EVICTION, start, finish_read, finish_write)
+
+    def _dummy_slot(self, now: int) -> Optional[SlotResult]:
+        """Fill an empty issue slot: IR-DWB conversion if possible, else dummy."""
+        if self.dwb is not None:
+            converted = self.dwb.dummy_slot(now)
+            if converted is not None:
+                self.stats.inc("dwb.converted_slots")
+                return converted
+        return self.dummy_path(now)
+
+    def dummy_path(self, now: int) -> SlotResult:
+        """A dummy path access: random path, read + write back (PT_m)."""
+        leaf = self.rng.randrange(self.oram.leaves)
+        finish_read, start, _ = self._service_path(leaf, PathType.DUMMY, now)
+        finish_write = self._write_path(leaf, finish_read, PathType.DUMMY)
+        return SlotResult(True, PathType.DUMMY, start, finish_read, finish_write)
+
+    # ------------------------------------------------------------------
+    # inspection helpers
+    # ------------------------------------------------------------------
+    def blocks_per_path(self) -> int:
+        return self.oram.blocks_per_path()
+
+    def path_type_counts(self) -> dict:
+        return {
+            pt.value: self.stats.get(f"paths.{pt.value}") for pt in PathType
+        }

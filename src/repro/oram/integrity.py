@@ -1,0 +1,174 @@
+"""Merkle-style integrity verification over the ORAM tree.
+
+The threat model (Section II-A) assumes data integrity is protected with a
+Merkle tree over the user data (Gassend et al.), with the hash tree laid
+out alongside the ORAM tree so verification adds no extra path accesses.
+This module provides that layer for the simulator:
+
+* every bucket carries a hash of its slot contents concatenated with its
+  children's hashes (so the root authenticates the whole tree);
+* the on-chip controller holds only the root hash (the TCB);
+* a path read verifies bottom-up against the trusted root
+  (:meth:`MerkleIntegrity.verify_path`), and a path write refreshes the
+  hashes along the path (:meth:`MerkleIntegrity.update_path`).
+
+Any out-of-TCB tampering — flipping a block ID in a bucket, or forging a
+stored sibling hash — makes the recomputed root diverge and raises
+:class:`IntegrityError`.
+
+Timing: hashes ride in the bucket metadata the paper's baseline already
+fetches (counter-mode MAC co-location), so the DRAM model charges no extra
+traffic; the crypto itself is on-chip hardware in the modeled system.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Optional
+
+from ..errors import ReproError
+from ..stats import Stats
+from .tree import ORAMTree
+
+
+class IntegrityError(ReproError):
+    """A path failed Merkle verification (tampering detected)."""
+
+
+def _hash(*parts: bytes) -> bytes:
+    digest = hashlib.sha256()
+    for part in parts:
+        digest.update(part)
+    return digest.digest()
+
+
+_EMPTY_CHILD = b"\x00" * 32
+
+
+class MerkleIntegrity:
+    """Hash tree mirroring an :class:`ORAMTree`.
+
+    Hashes are stored per bucket index, computed lazily: an absent entry
+    means the bucket (and its whole subtree) is still in its initial
+    state, whose hash is derived on demand.  ``root`` is the trusted
+    on-chip copy.
+    """
+
+    def __init__(self, tree: ORAMTree, stats: Optional[Stats] = None) -> None:
+        self.tree = tree
+        self.stats = stats if stats is not None else Stats()
+        self._hashes: Dict[int, bytes] = {}
+        self.root = self._compute_root()
+
+    # -- hashing ------------------------------------------------------------
+    def _bucket_bytes(self, level: int, position: int) -> bytes:
+        slots = self.tree.bucket(level, position)
+        return b"".join(block.to_bytes(8, "little", signed=True) for block in slots)
+
+    def _child_hash(self, level: int, position: int) -> bytes:
+        if level >= self.tree.levels:
+            return _EMPTY_CHILD
+        return self.stored_hash(level, position)
+
+    def stored_hash(self, level: int, position: int) -> bytes:
+        """The stored (untrusted, off-chip) hash of a bucket."""
+        index = ORAMTree.bucket_index(level, position)
+        cached = self._hashes.get(index)
+        if cached is None:
+            cached = self.compute_hash(level, position)
+            self._hashes[index] = cached
+        return cached
+
+    def compute_hash(self, level: int, position: int) -> bytes:
+        """Recompute a bucket's hash from contents + stored child hashes."""
+        return _hash(
+            self._bucket_bytes(level, position),
+            self._child_hash(level + 1, 2 * position),
+            self._child_hash(level + 1, 2 * position + 1),
+        )
+
+    def _compute_root(self) -> bytes:
+        """Bottom-up full build (only used at construction / rebuild)."""
+        for level in range(self.tree.levels - 1, -1, -1):
+            for position in range(1 << level):
+                index = ORAMTree.bucket_index(level, position)
+                self._hashes[index] = self.compute_hash(level, position)
+        return self._hashes[0]
+
+    def rebuild(self) -> None:
+        """Recompute every hash and refresh the trusted root."""
+        self._hashes.clear()
+        self.root = self._compute_root()
+
+    # -- the two path operations -----------------------------------------------
+    def update_path(self, leaf: int) -> None:
+        """Refresh hashes along a freshly written path, bottom-up, and the
+        trusted on-chip root."""
+        for level in range(self.tree.levels - 1, -1, -1):
+            position = self.tree.path_position(leaf, level)
+            index = ORAMTree.bucket_index(level, position)
+            self._hashes[index] = self.compute_hash(level, position)
+        self.root = self._hashes[0]
+        self.stats.inc("integrity.path_updates")
+
+    def verify_path(self, leaf: int) -> None:
+        """Authenticate a path against the trusted root.
+
+        Recomputes each path bucket's hash from its (fetched) contents,
+        using the recomputed hash for the on-path child and the stored
+        hash for the off-path sibling, and compares the final value with
+        the on-chip root.  Raises :class:`IntegrityError` on mismatch.
+        """
+        levels = self.tree.levels
+        running: bytes = b""
+        for level in range(levels - 1, -1, -1):
+            position = self.tree.path_position(leaf, level)
+            if level == levels - 1:
+                children = (_EMPTY_CHILD, _EMPTY_CHILD)
+            else:
+                child_pos = self.tree.path_position(leaf, level + 1)
+                sibling_pos = child_pos ^ 1
+                sibling = self.stored_hash(level + 1, sibling_pos)
+                if child_pos & 1:
+                    children = (sibling, running)
+                else:
+                    children = (running, sibling)
+            running = _hash(self._bucket_bytes(level, position), *children)
+        self.stats.inc("integrity.path_verifications")
+        if running != self.root:
+            self.stats.inc("integrity.violations")
+            raise IntegrityError(
+                f"path to leaf {leaf} failed Merkle verification"
+            )
+
+    # -- tamper helpers for tests / demos ---------------------------------------
+    def forge_stored_hash(self, level: int, position: int) -> None:
+        """Simulate an attacker overwriting a stored hash."""
+        index = ORAMTree.bucket_index(level, position)
+        self.stored_hash(level, position)  # materialize
+        self._hashes[index] = _hash(b"forged", self._hashes[index])
+
+
+def attach_integrity(controller, stats: Optional[Stats] = None) -> MerkleIntegrity:
+    """Wire a Merkle layer into a controller's path operations.
+
+    Every subsequent path access verifies before the read phase consumes
+    the blocks and refreshes the hashes after the write phase.
+    """
+    integrity = MerkleIntegrity(controller.tree, stats or controller.stats)
+    original_service = controller._service_path
+    original_write = controller._write_path
+
+    def service_with_verify(leaf, path_type, now):
+        integrity.verify_path(leaf)
+        return original_service(leaf, path_type, now)
+
+    def write_with_update(leaf, finish_read, path_type, preexisting=None):
+        finish = original_write(leaf, finish_read, path_type, preexisting)
+        integrity.update_path(leaf)
+        return finish
+
+    controller._service_path = service_with_verify
+    controller._write_path = write_with_update
+    controller.integrity = integrity
+    return integrity

@@ -1,0 +1,67 @@
+"""The PosMap lookaside buffer (PLB).
+
+A small on-chip set-associative cache of PosMap *blocks* (Freecursive).
+A hit means the needed mapping entry is on chip; a miss forces a full path
+access for the PosMap block.  Remapping a child block dirties the cached
+parent PosMap block; evicting a dirty PosMap block requires writing it back
+through another full ORAM access, which the controller performs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..cache.cache import EvictedLine, SetAssocCache
+from ..config import CacheConfig, ORAMConfig
+from ..stats import Stats
+
+
+class PLB:
+    """Set-associative cache of PosMap block IDs."""
+
+    def __init__(self, config: ORAMConfig, stats: Optional[Stats] = None) -> None:
+        self.stats = stats if stats is not None else Stats()
+        cache_config = CacheConfig(
+            sets=config.plb_sets, ways=config.plb_ways, hit_latency=2
+        )
+        self._cache = SetAssocCache(cache_config, self.stats, name="plb")
+
+    def lookup(self, posmap_block: int) -> bool:
+        """Probe without filling; counts a hit or miss."""
+        hit = self._cache.probe(posmap_block)
+        if hit:
+            # Touch for LRU by re-accessing (probe does not reorder).
+            self._cache.access(posmap_block, is_write=False)
+            self.stats.inc("plb.lookup_hits")
+        else:
+            self.stats.inc("plb.lookup_misses")
+        return hit
+
+    def contains(self, posmap_block: int) -> bool:
+        """Presence check with no statistics or LRU side effects."""
+        return self._cache.probe(posmap_block)
+
+    def fill(self, posmap_block: int, dirty: bool = False) -> Optional[EvictedLine]:
+        """Install a PosMap block fetched through the ORAM.
+
+        Returns the evicted line, if any; the caller must issue an ORAM
+        write access when the victim is dirty.
+        """
+        return self._cache.insert(posmap_block, dirty)
+
+    def mark_dirty(self, posmap_block: int) -> None:
+        """Record that a cached PosMap block's entries changed (remap)."""
+        if self._cache.probe(posmap_block):
+            self._cache.access(posmap_block, is_write=True)
+
+    def flush_dirty(self) -> List[int]:
+        """Return and clean all dirty blocks (context-switch style flush)."""
+        dirty = [
+            block for block, is_dirty in self._cache.contents().items() if is_dirty
+        ]
+        for block in dirty:
+            self._cache.mark_clean(block)
+        return dirty
+
+    def occupancy(self) -> int:
+        return self._cache.occupancy()

@@ -1,0 +1,79 @@
+"""The fully associative on-chip stash (F-Stash in IR-ORAM terms).
+
+The stash temporarily holds real blocks between a path read and subsequent
+path writes.  Entries map block ID to the block's current leaf assignment;
+as elsewhere, payloads are not simulated.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..errors import ProtocolError, StashOverflowError
+from ..stats import Stats
+
+
+class Stash:
+    """Fully associative block buffer with occupancy tracking."""
+
+    def __init__(self, capacity: int, stats: Optional[Stats] = None) -> None:
+        if capacity < 1:
+            raise ProtocolError("stash capacity must be positive")
+        self.capacity = capacity
+        self.stats = stats if stats is not None else Stats()
+        self._entries: Dict[int, int] = {}
+        self.peak_occupancy = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, block: int) -> bool:
+        return block in self._entries
+
+    def add(self, block: int, leaf: int, enforce_capacity: bool = False) -> None:
+        """Insert or update a block's stash entry.
+
+        With ``enforce_capacity`` the classic Path ORAM failure mode is
+        modeled: exceeding the hard capacity raises
+        :class:`StashOverflowError`.  The controller normally leaves this
+        off and relies on background eviction instead (Ren et al.).
+        """
+        self._entries[block] = leaf
+        occupancy = len(self._entries)
+        if occupancy > self.peak_occupancy:
+            self.peak_occupancy = occupancy
+        if enforce_capacity and occupancy > self.capacity:
+            raise StashOverflowError(
+                f"stash holds {occupancy} blocks > capacity {self.capacity}"
+            )
+
+    def remove(self, block: int) -> int:
+        """Remove a block, returning its leaf."""
+        try:
+            return self._entries.pop(block)
+        except KeyError:
+            raise ProtocolError(f"block {block} not in stash") from None
+
+    def leaf_of(self, block: int) -> int:
+        try:
+            return self._entries[block]
+        except KeyError:
+            raise ProtocolError(f"block {block} not in stash") from None
+
+    def update_leaf(self, block: int, leaf: int) -> None:
+        if block not in self._entries:
+            raise ProtocolError(f"block {block} not in stash")
+        self._entries[block] = leaf
+
+    def items(self) -> Iterator[Tuple[int, int]]:
+        return iter(self._entries.items())
+
+    def blocks(self) -> List[int]:
+        return list(self._entries)
+
+    def over_threshold(self, threshold: int) -> bool:
+        return len(self._entries) > threshold
+
+    def occupancy_excess(self) -> int:
+        """Blocks beyond the hard capacity (0 when within bounds)."""
+        return max(0, len(self._entries) - self.capacity)

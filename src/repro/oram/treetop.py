@@ -1,0 +1,64 @@
+"""On-chip tree-top caching policies.
+
+The Baseline (Section VI) keeps the top ten tree levels in a dedicated
+on-chip cache, as in Nagarajan et al. / Wang et al.: path accesses to those
+levels cost no memory traffic, but the structure is only addressable by
+tree position, so the LLC cannot ask "is block b on chip?" without first
+translating b through the PosMap — the exact waste IR-Stash removes.
+
+:class:`TreeTopCache` models that dedicated-cache design and doubles as the
+interface IR-Stash implements with different answers (see
+``repro.core.ir_stash.SStash``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..config import ORAMConfig
+from ..stats import Stats
+
+
+class TreeTopCache:
+    """Dedicated tree-top cache: position-indexed, invisible to the LLC."""
+
+    #: Can the LLC find blocks here by block address (no PosMap needed)?
+    addressable_by_block = False
+
+    def __init__(self, config: ORAMConfig, stats: Optional[Stats] = None) -> None:
+        self.config = config
+        self.stats = stats if stats is not None else Stats()
+        self.levels = config.top_cached_levels
+
+    def covers_level(self, level: int) -> bool:
+        """True when ``level`` is held on chip (no memory traffic)."""
+        return level < self.levels
+
+    def capacity_entries(self) -> int:
+        """Block slots held on chip by this structure."""
+        return sum(
+            self.config.z_per_level[level] << level for level in range(self.levels)
+        )
+
+    # -- LLC-visible probe -----------------------------------------------------
+    def lookup_by_address(self, block: int) -> bool:
+        """Baseline cannot answer block-address probes: always a miss."""
+        return False
+
+    # -- placement hooks (called by the controller on top-level changes) -----
+    def may_place(self, block: int) -> bool:
+        """Whether the structure can accept this block (bucket-slot limits
+        are enforced separately by the tree itself)."""
+        return True
+
+    def on_place(self, block: int) -> None:
+        self.stats.inc("treetop.placed")
+
+    def on_remove(self, block: int) -> None:
+        self.stats.inc("treetop.removed")
+
+    def describe(self) -> str:
+        return (
+            f"dedicated tree-top cache: top {self.levels} levels, "
+            f"{self.capacity_entries()} entries"
+        )

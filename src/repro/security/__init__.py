@@ -1,0 +1,5 @@
+"""Security analysis: the obliviousness checker of Section IV-E."""
+
+from .obliviousness import AccessRecorder, ObliviousnessReport, check_obliviousness
+
+__all__ = ["AccessRecorder", "ObliviousnessReport", "check_obliviousness"]

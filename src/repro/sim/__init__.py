@@ -1,0 +1,13 @@
+"""Full-system simulation: processor + LLC + ORAM controller + DRAM."""
+
+from .results import SimulationResult
+from .runner import run_benchmark, run_trace
+from .simulator import MemoryHierarchy, Simulator
+
+__all__ = [
+    "Simulator",
+    "MemoryHierarchy",
+    "SimulationResult",
+    "run_trace",
+    "run_benchmark",
+]

@@ -1,0 +1,79 @@
+"""JSON persistence for simulation results.
+
+Long experiment campaigns want to checkpoint raw results and re-aggregate
+later without re-simulating; these helpers round-trip
+:class:`SimulationResult` objects through JSON files.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, List, Union
+
+from ..errors import ReproError
+from .results import SimulationResult
+
+FORMAT_VERSION = 1
+
+
+def result_to_dict(result: SimulationResult) -> dict:
+    return {
+        "version": FORMAT_VERSION,
+        "trace_name": result.trace_name,
+        "cycles": result.cycles,
+        "instructions": result.instructions,
+        "path_counts": result.path_counts,
+        "counters": result.counters,
+        # histogram keys may be ints or strings; JSON forces strings
+        "hit_levels": {str(key): value for key, value in result.hit_levels.items()},
+        "utilization_series": [
+            [time, list(snapshot)]
+            for time, snapshot in result.utilization_series
+        ],
+    }
+
+
+def result_from_dict(payload: dict) -> SimulationResult:
+    if payload.get("version") != FORMAT_VERSION:
+        raise ReproError(
+            f"unsupported result format version {payload.get('version')!r}"
+        )
+
+    def parse_key(key: str):
+        try:
+            return int(key)
+        except ValueError:
+            return key
+
+    return SimulationResult(
+        trace_name=payload["trace_name"],
+        cycles=payload["cycles"],
+        instructions=payload["instructions"],
+        path_counts=payload["path_counts"],
+        counters=payload["counters"],
+        hit_levels={
+            parse_key(key): value
+            for key, value in payload["hit_levels"].items()
+        },
+        utilization_series=[
+            (time, snapshot)
+            for time, snapshot in payload["utilization_series"]
+        ],
+    )
+
+
+def save_results(
+    results: Iterable[SimulationResult], path: Union[str, Path]
+) -> Path:
+    destination = Path(path)
+    payload = [result_to_dict(result) for result in results]
+    destination.write_text(json.dumps(payload, indent=1))
+    return destination
+
+
+def load_results(path: Union[str, Path]) -> List[SimulationResult]:
+    payload = json.loads(Path(path).read_text())
+    if not isinstance(payload, list):
+        raise ReproError("result file must contain a list")
+    return [result_from_dict(entry) for entry in payload]

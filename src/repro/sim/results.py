@@ -1,0 +1,81 @@
+"""Result objects returned by simulation runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+from ..oram.types import PathType
+from ..stats import Stats
+
+
+@dataclass
+class SimulationResult:
+    """Summary of one trace-through-one-scheme simulation."""
+
+    trace_name: str
+    cycles: int
+    instructions: int
+    path_counts: Dict[str, float]
+    counters: Dict[str, float]
+    hit_levels: Dict[Any, float]
+    utilization_series: List[Tuple[float, List[float]]] = field(
+        default_factory=list
+    )
+
+    @staticmethod
+    def from_run(trace_name, cycles, instructions, stats: Stats, controller):
+        return SimulationResult(
+            trace_name=trace_name,
+            cycles=cycles,
+            instructions=instructions,
+            path_counts=controller.path_type_counts(),
+            counters=stats.snapshot(),
+            hit_levels=stats.histogram("hit.level"),
+            utilization_series=list(stats.series.get("tree.utilization", [])),
+        )
+
+    # -- derived metrics -------------------------------------------------------
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    def total_paths(self) -> float:
+        return self.counters.get("paths.total", 0.0)
+
+    def dummy_fraction(self) -> float:
+        total = self.total_paths()
+        if total == 0:
+            return 0.0
+        return self.path_counts.get(PathType.DUMMY.value, 0.0) / total
+
+    def posmap_paths(self) -> float:
+        return self.path_counts.get(
+            PathType.POS1.value, 0.0
+        ) + self.path_counts.get(PathType.POS2.value, 0.0)
+
+    def memory_accesses(self) -> float:
+        return self.counters.get("mem.blocks_read", 0.0) + self.counters.get(
+            "mem.blocks_written", 0.0
+        )
+
+    def background_evictions(self) -> float:
+        return self.counters.get("eviction.paths", 0.0)
+
+    def eviction_cycle_share(self) -> float:
+        if self.cycles == 0:
+            return 0.0
+        return self.counters.get("eviction.cycles", 0.0) / self.cycles
+
+    def speedup_over(self, baseline: "SimulationResult") -> float:
+        """Execution-time speedup of ``self`` relative to ``baseline``."""
+        if self.cycles == 0:
+            return 0.0
+        return baseline.cycles / self.cycles
+
+    def path_type_distribution(self) -> Dict[str, float]:
+        """Fraction of path accesses per type (Fig. 2 / Fig. 15 style)."""
+        total = sum(self.path_counts.values())
+        if total == 0:
+            return {key: 0.0 for key in self.path_counts}
+        return {key: val / total for key, val in self.path_counts.items()}

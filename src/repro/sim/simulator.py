@@ -1,0 +1,220 @@
+"""The closed-loop full-system simulator.
+
+Wires the trace-driven processor, the LLC, and the ORAM controller into
+one timeline.  The ORAM controller owns the clock: with the timing-channel
+defense on, path accesses issue one per T cycles (and at least one path
+service apart when memory is the bottleneck), with dummy slots — possibly
+converted by IR-DWB — filling gaps while the program computes.  Request
+arrivals emerge from the processor model, so dummy-path opportunity and
+queueing delay are both workload-dependent, as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..cache.cache import EvictedLine
+from ..cache.llc import LastLevelCache
+from ..core.schemes import SimComponents
+from ..cpu.processor import MemoryOp, Processor
+from ..errors import ProtocolError
+from ..oram.controller import PathORAMController
+from ..oram.types import Request, RequestKind
+from ..stats import Stats
+from ..traces.trace import Trace
+from .results import SimulationResult
+
+
+@dataclass
+class _InFlight:
+    """A demand fetch on its way through the ORAM."""
+
+    request: Request
+    want_dirty: bool
+    tokens: List[int] = field(default_factory=list)
+
+
+class MemoryHierarchy:
+    """LLC plus the glue between processor, LLC, and ORAM controller."""
+
+    def __init__(
+        self,
+        llc: LastLevelCache,
+        controller: PathORAMController,
+        stats: Stats,
+    ) -> None:
+        self.llc = llc
+        self.controller = controller
+        self.stats = stats
+        self.delayed_remap = controller.delayed_remap
+        self.in_flight: Dict[int, _InFlight] = {}
+        self._next_token = 0
+        self.last_demand_completion = 0
+
+    # -- processor-facing ---------------------------------------------------
+    def cpu_access(self, op: MemoryOp) -> Optional[int]:
+        """LLC lookup for one L1 miss; returns a wait token on a read miss."""
+        block = op.block
+        flight = self.in_flight.get(block)
+        if flight is not None:
+            # MSHR-style merge: writes coalesce, reads wait for the fill.
+            flight.request.merge()
+            if op.is_write:
+                flight.want_dirty = True
+                return None
+            return self._add_token(flight)
+        if self.llc.probe(block):
+            self.llc.access(block, op.is_write)  # counts the hit, moves LRU
+            return None
+        self.stats.inc("llc.misses")
+        self.stats.inc("hierarchy.demand_misses")
+        request = Request(
+            block=block,
+            kind=RequestKind.READ,
+            arrival=op.time,
+            is_write=op.is_write,
+        )
+        self.controller.enqueue(request)
+        flight = _InFlight(request, want_dirty=op.is_write)
+        self.in_flight[block] = flight
+        # Both read misses and write-allocate fetches hand the processor a
+        # token: reads gate the ROB/MLP window, writes the write buffer.
+        return self._add_token(flight)
+
+    def _add_token(self, flight: _InFlight) -> int:
+        token = self._next_token
+        self._next_token += 1
+        flight.tokens.append(token)
+        return token
+
+    # -- controller-facing -----------------------------------------------------
+    def on_completion(self, request: Request, processor: Processor) -> None:
+        """Handle a completed controller request."""
+        if request.completion is None:
+            raise ProtocolError("completed request lacks a completion time")
+        if request.kind is not RequestKind.READ:
+            return
+        flight = self.in_flight.pop(request.block, None)
+        if flight is None:
+            return  # internally generated access (e.g. IR-DWB)
+        self.last_demand_completion = max(
+            self.last_demand_completion, request.completion
+        )
+        evicted = self.llc.insert(request.block, dirty=flight.want_dirty)
+        if evicted is not None:
+            self.handle_eviction(evicted, request.completion)
+        for token in flight.tokens:
+            processor.complete(token, request.completion)
+
+    def handle_eviction(self, evicted: EvictedLine, time: int) -> None:
+        if self.delayed_remap:
+            kind = RequestKind.REINSERT
+        elif evicted.dirty:
+            kind = RequestKind.WRITEBACK
+        else:
+            return
+        self.controller.enqueue(
+            Request(block=evicted.block, kind=kind, arrival=time,
+                    is_write=evicted.dirty)
+        )
+
+
+class Simulator:
+    """Drives one trace through one scheme's memory system."""
+
+    #: safety valve: abort runs that stop making forward progress
+    MAX_IDLE_ITERATIONS = 10_000
+
+    def __init__(self, components: SimComponents, trace: Trace) -> None:
+        self.components = components
+        self.trace = trace
+        self.stats = components.stats
+        self.controller = components.controller
+        self.llc = components.llc
+        self.hierarchy = MemoryHierarchy(self.llc, self.controller, self.stats)
+        self.processor = Processor(trace, components.config.cpu, self.stats)
+
+    def run(self, utilization_snapshots: int = 0) -> SimulationResult:
+        """Run to completion and return the result summary.
+
+        ``utilization_snapshots``: if nonzero, record per-level tree
+        utilization that many times, evenly spaced in path count (Fig. 3).
+        """
+        controller = self.controller
+        processor = self.processor
+        hierarchy = self.hierarchy
+        oram = self.components.config.oram
+        interval = oram.issue_interval
+
+        snapshot_every = 0
+        if utilization_snapshots:
+            expected_paths = max(1, 2 * len(self.trace))
+            snapshot_every = max(1, expected_paths // utilization_snapshots)
+            self._record_utilization(0)
+
+        now = 0
+        last_finish = 0
+        idle_iterations = 0
+        while True:
+            processor.advance_to(now, hierarchy.cpu_access)
+            trace_active = not processor.trace_exhausted()
+            result = controller.step(now, allow_dummy=trace_active)
+
+            if result is None:
+                if processor.done and not controller.has_any_real_work() and (
+                    not hierarchy.in_flight
+                ):
+                    break
+                idle_iterations += 1
+                if idle_iterations > self.MAX_IDLE_ITERATIONS:
+                    raise ProtocolError("simulation stopped making progress")
+                now = self._advance_idle(now)
+                continue
+            idle_iterations = 0
+
+            for request in result.completions:
+                hierarchy.on_completion(request, processor)
+            if result.issued_path:
+                last_finish = max(last_finish, result.finish_write)
+                if oram.timing_protection:
+                    now = max(now + interval, result.finish_write)
+                else:
+                    now = max(now + 1, result.finish_write)
+                if snapshot_every and controller.path_count % snapshot_every == 0:
+                    self._record_utilization(now)
+
+        cycles = max(
+            processor.finish_time or 0,
+            hierarchy.last_demand_completion,
+        )
+        if cycles == 0:
+            cycles = last_finish
+        self.stats.set("sim.cycles", cycles)
+        self.stats.set("sim.instructions", processor.retired_instructions)
+        return SimulationResult.from_run(
+            trace_name=self.trace.name,
+            cycles=cycles,
+            instructions=processor.retired_instructions,
+            stats=self.stats,
+            controller=controller,
+        )
+
+    def _advance_idle(self, now: int) -> int:
+        """Nothing issued: jump to the next time anything can happen."""
+        candidates = []
+        arrival = self.controller.next_arrival()
+        if arrival is not None:
+            candidates.append(arrival)
+        projected = self.processor.next_request_time()
+        if projected is not None:
+            candidates.append(projected)
+        if not candidates:
+            # The processor is blocked, so a queued request must exist —
+            # reaching here means the controller refused to service it.
+            raise ProtocolError("idle with a blocked processor")
+        return max(now + 1, min(candidates))
+
+    def _record_utilization(self, now: int) -> None:
+        snapshot = self.controller.tree.level_utilization()
+        self.stats.record("tree.utilization", now, snapshot)

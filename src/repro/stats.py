@@ -1,0 +1,75 @@
+"""A lightweight statistics registry shared by all simulator components.
+
+Every component (DRAM model, caches, ORAM controller, IR-* engines) holds a
+reference to one :class:`Stats` instance and records named counters,
+histograms, and point-in-time snapshots into it.  The experiment harness
+reads the registry after a run to regenerate the paper's tables and figures.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Dict, List, Tuple
+
+
+class Stats:
+    """Flat registry of counters, histograms, and snapshot series."""
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, float] = defaultdict(float)
+        self.histograms: Dict[str, Dict[Any, float]] = defaultdict(
+            lambda: defaultdict(float)
+        )
+        self.series: Dict[str, List[Tuple[float, Any]]] = defaultdict(list)
+
+    # -- counters ----------------------------------------------------------
+    def inc(self, key: str, amount: float = 1) -> None:
+        """Increment counter ``key`` by ``amount``."""
+        self.counters[key] += amount
+
+    def set(self, key: str, value: float) -> None:
+        """Set counter ``key`` to ``value``."""
+        self.counters[key] = value
+
+    def get(self, key: str, default: float = 0) -> float:
+        """Read counter ``key``, returning ``default`` if never written."""
+        return self.counters.get(key, default)
+
+    # -- histograms --------------------------------------------------------
+    def bump(self, key: str, bucket: Any, amount: float = 1) -> None:
+        """Add ``amount`` to ``bucket`` of histogram ``key``."""
+        self.histograms[key][bucket] += amount
+
+    def histogram(self, key: str) -> Dict[Any, float]:
+        """Return histogram ``key`` as a plain dict (empty if absent)."""
+        return dict(self.histograms.get(key, {}))
+
+    # -- time series -------------------------------------------------------
+    def record(self, key: str, time: float, value: Any) -> None:
+        """Append ``(time, value)`` to series ``key``."""
+        self.series[key].append((time, value))
+
+    # -- aggregation -------------------------------------------------------
+    def snapshot(self) -> Dict[str, float]:
+        """Return a copy of all counters."""
+        return dict(self.counters)
+
+    def merge(self, other: "Stats") -> None:
+        """Fold another registry's counters and histograms into this one."""
+        for key, value in other.counters.items():
+            self.counters[key] += value
+        for key, hist in other.histograms.items():
+            for bucket, value in hist.items():
+                self.histograms[key][bucket] += value
+        for key, points in other.series.items():
+            self.series[key].extend(points)
+
+    def ratio(self, numerator: str, denominator: str) -> float:
+        """Return counter ratio, or 0.0 when the denominator is zero."""
+        denom = self.get(denominator)
+        if denom == 0:
+            return 0.0
+        return self.get(numerator) / denom
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Stats({len(self.counters)} counters)"

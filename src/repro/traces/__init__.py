@@ -1,0 +1,18 @@
+"""Memory-trace infrastructure: records, synthetic generators, benchmarks."""
+
+from .benchmarks import BENCHMARKS, BenchmarkModel, benchmark_trace
+from .mix import mix_traces
+from .synthetic import random_trace, strided_trace, zipf_trace
+from .trace import Trace, TraceRecord
+
+__all__ = [
+    "Trace",
+    "TraceRecord",
+    "BENCHMARKS",
+    "BenchmarkModel",
+    "benchmark_trace",
+    "random_trace",
+    "strided_trace",
+    "zipf_trace",
+    "mix_traces",
+]

@@ -1,0 +1,35 @@
+"""Plain-text trace persistence.
+
+Format: one record per line, ``<gap> <block> <R|W>``, with ``#``-comment
+header lines.  Mirrors the simple interchange formats of trace-driven
+simulators like USIMM.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Union
+
+from ..errors import TraceError
+from .trace import Trace, TraceRecord
+
+
+def save_trace(trace: Trace, path: Union[str, Path]) -> None:
+    lines = [f"# trace: {trace.name}", f"# records: {len(trace)}"]
+    for gap, block, is_write in trace:
+        lines.append(f"{gap} {block} {'W' if is_write else 'R'}")
+    Path(path).write_text("\n".join(lines) + "\n")
+
+
+def load_trace(path: Union[str, Path], name: str = "") -> Trace:
+    records: List[TraceRecord] = []
+    source = Path(path)
+    for line_no, line in enumerate(source.read_text().splitlines(), 1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if len(parts) != 3 or parts[2] not in ("R", "W"):
+            raise TraceError(f"{source}:{line_no}: malformed record {line!r}")
+        records.append((int(parts[0]), int(parts[1]), parts[2] == "W"))
+    return Trace(name or source.stem, records)

@@ -1,0 +1,74 @@
+"""Trace records and containers.
+
+A trace is the stream of L1 data-cache misses feeding the simulated LLC,
+mirroring the paper's methodology (Pin traces of SPEC CPU2017 / PARSEC
+covering 2M L1 misses).  Each record carries the number of instructions
+executed since the previous record, the 64-byte block address (in user
+block numbers), and whether the access is a write.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Sequence, Tuple
+
+from ..errors import TraceError
+
+#: (instruction_gap, block, is_write)
+TraceRecord = Tuple[int, int, bool]
+
+
+@dataclass
+class Trace:
+    """A named sequence of memory-access records."""
+
+    name: str
+    records: List[TraceRecord] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        for gap, block, _ in self.records:
+            if gap < 0 or block < 0:
+                raise TraceError(f"malformed record in trace {self.name!r}")
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    # -- summary statistics --------------------------------------------------
+    def instructions(self) -> int:
+        return sum(gap for gap, _, _ in self.records)
+
+    def reads(self) -> int:
+        return sum(1 for _, _, w in self.records if not w)
+
+    def writes(self) -> int:
+        return sum(1 for _, _, w in self.records if w)
+
+    def footprint(self) -> int:
+        """Distinct blocks touched."""
+        return len({block for _, block, _ in self.records})
+
+    def mpki(self) -> Tuple[float, float]:
+        """(read, write) misses per kilo-instruction of this stream."""
+        insts = self.instructions()
+        if insts == 0:
+            return 0.0, 0.0
+        return 1000 * self.reads() / insts, 1000 * self.writes() / insts
+
+    def max_block(self) -> int:
+        if not self.records:
+            raise TraceError("empty trace")
+        return max(block for _, block, _ in self.records)
+
+    def slice(self, count: int, name: str = "") -> "Trace":
+        return Trace(name or f"{self.name}[:{count}]", self.records[:count])
+
+
+def concat(name: str, traces: Sequence[Trace]) -> Trace:
+    """Concatenate traces end-to-end (used for mix + random tails, Fig. 3)."""
+    records: List[TraceRecord] = []
+    for trace in traces:
+        records.extend(trace.records)
+    return Trace(name, records)

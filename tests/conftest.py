@@ -1,0 +1,68 @@
+"""Shared fixtures for the test suite."""
+
+import random
+
+import pytest
+
+from repro.config import CacheConfig, DRAMConfig, ORAMConfig, SystemConfig
+from repro.core.schemes import build_scheme
+from repro.stats import Stats
+
+
+@pytest.fixture
+def rng():
+    return random.Random(1234)
+
+
+@pytest.fixture
+def stats():
+    return Stats()
+
+
+@pytest.fixture
+def tiny_config():
+    """A small but fully functional platform (L=9)."""
+    return SystemConfig.tiny()
+
+
+@pytest.fixture
+def tiny_oram(tiny_config):
+    return tiny_config.oram
+
+
+@pytest.fixture
+def dram_config():
+    return DRAMConfig()
+
+
+@pytest.fixture
+def cache_config():
+    return CacheConfig(sets=8, ways=4)
+
+
+@pytest.fixture
+def baseline(tiny_config):
+    """A freshly built Baseline scheme on the tiny platform."""
+    return build_scheme("Baseline", tiny_config)
+
+
+@pytest.fixture
+def controller(baseline):
+    return baseline.controller
+
+
+def make_oram(levels=9, z=4, top=3, **kwargs) -> ORAMConfig:
+    """Hand-rolled ORAM config helper for unit tests."""
+    slots = z * ((1 << levels) - 1)
+    defaults = dict(
+        levels=levels,
+        user_blocks=(slots // 2 * 15) // 16 // 16 * 16,
+        z_per_level=(z,) * levels,
+        top_cached_levels=top,
+        stash_capacity=120,
+        eviction_threshold=90,
+        plb_sets=8,
+        plb_ways=2,
+    )
+    defaults.update(kwargs)
+    return ORAMConfig(**defaults)

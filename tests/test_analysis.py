@@ -1,0 +1,105 @@
+"""Tests for the analysis utilities: sweeps and report rendering."""
+
+import pytest
+
+from repro.analysis.report import render_markdown, write_report
+from repro.analysis.sweep import KNOBS, SweepResult, sweep_parameter
+from repro.config import SystemConfig
+from repro.errors import ConfigError
+from repro.experiments.common import ExperimentResult
+
+
+class TestSweep:
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(ConfigError):
+            sweep_parameter("nope", [1, 2])
+
+    def test_all_knobs_produce_valid_configs(self):
+        config = SystemConfig.tiny()
+        samples = {
+            "issue_interval": 500,
+            "top_cached_levels": 2,
+            "plb_sets": 4,
+            "stash_capacity": 80,
+            "eviction_threshold": 60,
+        }
+        for name, transform in KNOBS.items():
+            candidate = transform(config, samples[name])
+            assert candidate.oram.total_blocks() <= candidate.oram.tree_slots()
+
+    def test_issue_interval_sweep_monotone_dummy_cost(self):
+        sweep = sweep_parameter(
+            "issue_interval",
+            [200, 800],
+            scheme="Baseline",
+            workload="gcc",
+            config=SystemConfig.tiny(),
+            records=500,
+        )
+        assert len(sweep.points) == 2
+        assert sweep.speedups()[0] == pytest.approx(1.0)
+        table = sweep.table()
+        assert len(table) == 2
+        assert all(len(row) == len(SweepResult.HEADERS) for row in table)
+
+    def test_top_levels_sweep_reduces_traffic(self):
+        sweep = sweep_parameter(
+            "top_cached_levels",
+            [1, 4],
+            workload="random",
+            config=SystemConfig.tiny(),
+            records=400,
+        )
+        deep, shallow = sweep.points
+        assert (
+            shallow.result.memory_accesses() < deep.result.memory_accesses()
+        )
+
+    def test_best_returns_fastest(self):
+        sweep = sweep_parameter(
+            "plb_sets",
+            [2, 16],
+            workload="mcf",
+            config=SystemConfig.tiny(),
+            records=400,
+        )
+        assert sweep.best().cycles == min(p.cycles for p in sweep.points)
+
+
+class TestReport:
+    def _experiment(self):
+        return ExperimentResult(
+            experiment_id="Fig. X",
+            title="demo",
+            headers=["a", "b"],
+            rows=[["k", 1.23456]],
+            paper_claim="something",
+            notes=["a note"],
+        )
+
+    def test_render_markdown_structure(self):
+        text = render_markdown([self._experiment()], title="T")
+        assert text.startswith("# T")
+        assert "## Fig. X: demo" in text
+        assert "| a | b |" in text
+        assert "| k | 1.235 |" in text
+        assert "> a note" in text
+
+    def test_render_sweep(self):
+        sweep = sweep_parameter(
+            "issue_interval",
+            [300],
+            workload="gcc",
+            config=SystemConfig.tiny(),
+            records=300,
+        )
+        text = render_markdown([sweep])
+        assert "## Sweep: issue_interval" in text
+
+    def test_write_report(self, tmp_path):
+        path = write_report([self._experiment()], tmp_path / "report.md")
+        assert path.read_text().startswith("# Results")
+
+    def test_render_rejects_garbage(self):
+        with pytest.raises(TypeError):
+            render_markdown([object()])

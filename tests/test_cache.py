@@ -1,0 +1,156 @@
+"""Unit tests for the set-associative cache and the LLC."""
+
+import pytest
+
+from repro.cache.cache import SetAssocCache
+from repro.cache.llc import LastLevelCache
+from repro.config import CacheConfig
+
+
+@pytest.fixture
+def cache():
+    return SetAssocCache(CacheConfig(sets=4, ways=2))
+
+
+@pytest.fixture
+def llc():
+    return LastLevelCache(CacheConfig(sets=4, ways=2))
+
+
+def same_set_blocks(cache, count, set_index=0):
+    """Blocks that all map to one set."""
+    sets = cache.config.sets
+    return [set_index + i * sets for i in range(count)]
+
+
+class TestBasicOperations:
+    def test_miss_then_hit(self, cache):
+        hit, _ = cache.access(10, False)
+        assert not hit
+        hit, _ = cache.access(10, False)
+        assert hit
+
+    def test_write_sets_dirty(self, cache):
+        cache.access(10, True)
+        assert cache.is_dirty(10)
+
+    def test_read_does_not_clear_dirty(self, cache):
+        cache.access(10, True)
+        cache.access(10, False)
+        assert cache.is_dirty(10)
+
+    def test_probe_does_not_touch_lru(self, cache):
+        a, b, c = same_set_blocks(cache, 3)
+        cache.access(a, False)
+        cache.access(b, False)
+        cache.probe(a)  # must NOT refresh a
+        _, evicted = cache.access(c, False)
+        assert evicted.block == a
+
+    def test_lru_eviction_order(self, cache):
+        a, b, c = same_set_blocks(cache, 3)
+        cache.access(a, False)
+        cache.access(b, False)
+        cache.access(a, False)  # refresh a; b is now LRU
+        _, evicted = cache.access(c, False)
+        assert evicted.block == b
+
+    def test_evicted_line_carries_dirty(self, cache):
+        a, b, c = same_set_blocks(cache, 3)
+        cache.access(a, True)
+        cache.access(b, False)
+        _, evicted = cache.access(c, False)
+        assert evicted.block == a and evicted.dirty
+
+    def test_insert_no_hit_count(self, cache):
+        cache.insert(5, dirty=True)
+        assert cache.stats.get("cache.hits") == 0
+        assert cache.probe(5)
+        assert cache.is_dirty(5)
+
+    def test_insert_existing_merges_dirty(self, cache):
+        cache.insert(5, dirty=False)
+        cache.insert(5, dirty=True)
+        assert cache.is_dirty(5)
+
+    def test_invalidate(self, cache):
+        cache.access(5, True)
+        line = cache.invalidate(5)
+        assert line.dirty
+        assert not cache.probe(5)
+        assert cache.invalidate(5) is None
+
+    def test_mark_clean_preserves_lru_position(self, cache):
+        a, b, c = same_set_blocks(cache, 3)
+        cache.access(a, True)
+        cache.access(b, False)
+        cache.mark_clean(a)
+        # a is still the LRU line despite mark_clean
+        assert cache.is_lru(a)
+        _, evicted = cache.access(c, False)
+        assert evicted.block == a and not evicted.dirty
+
+    def test_occupancy_and_dirty_count(self, cache):
+        cache.access(1, True)
+        cache.access(2, False)
+        assert cache.occupancy() == 2
+        assert cache.dirty_count() == 1
+
+    def test_contents_snapshot(self, cache):
+        cache.access(1, True)
+        cache.access(2, False)
+        assert cache.contents() == {1: True, 2: False}
+
+
+class TestLRUInspection:
+    def test_lru_line_empty_set(self, cache):
+        assert cache.lru_line(0) is None
+
+    def test_lru_line_reports_oldest(self, cache):
+        a, b = same_set_blocks(cache, 2)
+        cache.access(a, True)
+        cache.access(b, False)
+        assert cache.lru_line(cache.set_index(a)) == (a, True)
+
+    def test_is_lru(self, cache):
+        a, b = same_set_blocks(cache, 2)
+        cache.access(a, False)
+        cache.access(b, False)
+        assert cache.is_lru(a)
+        assert not cache.is_lru(b)
+        assert not cache.is_lru(999)
+
+
+class TestDirtyLRUScan:
+    def test_finds_dirty_lru(self, llc):
+        llc.access(0, True)
+        found = llc.find_dirty_lru(now=0)
+        assert found == (0, 0)
+
+    def test_skips_clean_lru(self, llc):
+        a, b = same_set_blocks(llc, 2, set_index=1)
+        llc.access(a, False)   # clean LRU in set 1
+        llc.access(b, True)    # dirty but MRU
+        found = llc.find_dirty_lru(now=0)
+        assert found is None
+
+    def test_round_robin_advances(self, llc):
+        llc.access(0, True)  # set 0
+        llc.access(1, True)  # set 1
+        first = llc.find_dirty_lru(now=0)
+        second = llc.find_dirty_lru(now=0)
+        assert first != second
+        assert {first[0], second[0]} == {0, 1}
+
+    def test_pause_after_fruitless_sweep(self, llc):
+        assert llc.find_dirty_lru(now=0) is None
+        # paused: even if a dirty line appears, search stays quiet
+        llc.access(0, True)
+        assert llc.find_dirty_lru(now=1) is None
+        assert llc.find_dirty_lru(now=llc.SEARCH_PAUSE + 1) is not None
+
+    def test_max_sets_budget(self, llc):
+        llc.access(3, True)  # dirty line only in set 3
+        # budget of 1 set starting at cursor 0 must fail without pausing
+        # the full sweep
+        assert llc.find_dirty_lru(now=0, max_sets=1) is None

@@ -1,0 +1,122 @@
+"""Unit tests for the DRAM timing model."""
+
+import pytest
+
+from repro.config import DRAMConfig
+from repro.mem.dram import DRAMModel, batch_from_addresses
+from repro.mem.request import MemAccess
+from repro.stats import Stats
+
+
+@pytest.fixture
+def dram():
+    return DRAMModel(DRAMConfig())
+
+
+class TestDecompose:
+    def test_rows_stripe_across_channels(self, dram):
+        cfg = dram.config
+        channels = [
+            dram.decompose(row * cfg.row_blocks)[0] for row in range(cfg.channels)
+        ]
+        assert sorted(channels) == list(range(cfg.channels))
+
+    def test_same_row_same_bank(self, dram):
+        cfg = dram.config
+        a = dram.decompose(0)
+        b = dram.decompose(cfg.row_blocks - 1)
+        assert a == b
+
+
+class TestTiming:
+    def test_single_access_latency(self, dram):
+        cfg = dram.config
+        finish = dram.access_latency(MemAccess(0), start_cycle=0)
+        expected = (cfg.t_rcd + cfg.t_cas + cfg.t_burst) * (
+            cfg.cpu_cycles_per_dram_cycle
+        )
+        assert finish == expected
+
+    def test_row_hit_faster_than_miss(self, dram):
+        first = dram.access_latency(MemAccess(0), 0)
+        second = dram.access_latency(MemAccess(1), first)
+        third_row = dram.config.row_blocks * dram.config.channels  # same bank
+        third = dram.access_latency(MemAccess(third_row), second)
+        assert second - first < third - second
+
+    def test_row_hit_counters(self, dram):
+        dram.service_batch(batch_from_addresses([0, 1, 2, 3], False), 0)
+        assert dram.stats.get("dram.row_hits") == 3
+        assert dram.stats.get("dram.accesses") == 4
+
+    def test_row_conflict_counted(self, dram):
+        cfg = dram.config
+        same_bank_stride = cfg.row_blocks * cfg.channels * cfg.banks_per_channel
+        dram.service_batch(
+            batch_from_addresses([0, same_bank_stride], False), 0
+        )
+        assert dram.stats.get("dram.row_conflicts") == 1
+
+    def test_channel_parallelism(self, dram):
+        cfg = dram.config
+        # one block in each channel: should finish far faster than 4 blocks
+        # in one channel's single bank row-conflicting
+        parallel_addrs = [
+            row * cfg.row_blocks for row in range(cfg.channels)
+        ]
+        finish_parallel = dram.service_batch(
+            batch_from_addresses(parallel_addrs, False), 0
+        )
+        dram2 = DRAMModel(cfg)
+        stride = cfg.row_blocks * cfg.channels * cfg.banks_per_channel
+        serial_addrs = [i * stride for i in range(cfg.channels)]
+        finish_serial = dram2.service_batch(
+            batch_from_addresses(serial_addrs, False), 0
+        )
+        assert finish_parallel < finish_serial
+
+    def test_monotonic_completion(self, dram):
+        finish1 = dram.service_batch(batch_from_addresses([0, 1], False), 0)
+        finish2 = dram.service_batch(batch_from_addresses([2, 3], False), finish1)
+        assert finish2 >= finish1
+
+    def test_start_cycle_respected(self, dram):
+        finish = dram.service_batch(batch_from_addresses([0], False), 1000)
+        assert finish > 1000
+
+    def test_empty_batch(self, dram):
+        finish = dram.service_batch([], 123)
+        # empty batches complete at (rounded) start
+        assert finish >= 123 - dram.config.cpu_cycles_per_dram_cycle
+        assert finish <= 123 + dram.config.cpu_cycles_per_dram_cycle
+
+    def test_write_counters(self, dram):
+        dram.service_addresses([0, 1], True, 0)
+        dram.service_addresses([2], False, 0)
+        assert dram.stats.get("dram.writes") == 2
+        assert dram.stats.get("dram.reads") == 1
+
+    def test_mixed_batch_split_counts(self, dram):
+        batch = [MemAccess(0, False), MemAccess(1, True)]
+        dram.service_batch(batch, 0)
+        assert dram.stats.get("dram.reads") == 1
+        assert dram.stats.get("dram.writes") == 1
+
+    def test_reset_state_preserves_counters(self, dram):
+        dram.service_addresses([0, 1], False, 0)
+        hits = dram.stats.get("dram.row_hits")
+        dram.reset_state()
+        assert dram.stats.get("dram.row_hits") == hits
+        # after reset the row must be re-activated (no hit)
+        dram.service_addresses([0], False, 0)
+        assert dram.stats.get("dram.row_hits") == hits
+
+    def test_row_hit_rate(self, dram):
+        dram.service_addresses(list(range(8)), False, 0)
+        assert dram.row_hit_rate() == pytest.approx(7 / 8)
+
+
+class TestMemAccess:
+    def test_negative_address_rejected(self):
+        with pytest.raises(ValueError):
+            MemAccess(-1)

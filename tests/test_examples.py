@@ -1,0 +1,42 @@
+"""Smoke tests: every example script runs end to end (reduced sizes)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=240):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py", "gcc", "500")
+    assert "IR-ORAM speedup over Baseline" in out
+
+
+def test_scheme_comparison():
+    out = run_example("scheme_comparison.py", "gcc", "600")
+    assert "Baseline" in out and "IR-ORAM" in out
+
+
+def test_utilization_study():
+    out = run_example("utilization_study.py", "800")
+    assert "Space utilization" in out
+    assert "Tree-top reuse" in out
+
+
+@pytest.mark.slow
+def test_oblivious_kv_store():
+    out = run_example("oblivious_kv_store.py")
+    assert "oblivious: True" in out

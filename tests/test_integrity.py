@@ -1,0 +1,124 @@
+"""Tests for the Merkle integrity layer."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.core.schemes import build_scheme
+from repro.oram.integrity import IntegrityError, MerkleIntegrity, attach_integrity
+from repro.oram.tree import EMPTY, ORAMTree
+from repro.sim.runner import make_workload
+from repro.sim.simulator import Simulator
+
+from tests.conftest import make_oram
+
+
+@pytest.fixture
+def tree():
+    tree = ORAMTree(make_oram(levels=6, top=2))
+    tree.place(0, 0, 11)
+    tree.place(3, 5, 22)
+    tree.place(5, 17, 33)
+    return tree
+
+
+@pytest.fixture
+def merkle(tree):
+    return MerkleIntegrity(tree)
+
+
+class TestVerification:
+    def test_fresh_tree_verifies_every_path(self, merkle, tree):
+        for leaf in range(1 << 5):
+            merkle.verify_path(leaf)
+
+    def test_update_then_verify(self, merkle, tree):
+        tree.place(4, 3, 44)
+        merkle.update_path(3 << 1)  # a path through (4, 3)
+        merkle.verify_path(3 << 1)
+
+    def test_stale_hash_detected(self, merkle, tree):
+        # mutate contents without updating hashes: every crossing path fails
+        tree.place(2, 0, 99)
+        with pytest.raises(IntegrityError):
+            merkle.verify_path(0)
+
+    def test_tampered_block_detected(self, merkle, tree):
+        slots = tree.bucket(3, 5)
+        slots[slots.index(22)] = 23  # attacker flips a block ID
+        with pytest.raises(IntegrityError):
+            merkle.verify_path(5 << 2)
+
+    def test_tampering_off_path_not_flagged(self, merkle, tree):
+        slots = tree.bucket(5, 17)
+        slots[slots.index(33)] = 34
+        # a path not crossing (5,17) and not adjacent to it still verifies
+        merkle.verify_path(0)
+
+    def test_forged_sibling_hash_detected(self, merkle):
+        merkle.forge_stored_hash(1, 1)
+        # any path through the left half uses (1,1) as sibling
+        with pytest.raises(IntegrityError):
+            merkle.verify_path(0)
+
+    def test_rebuild_restores_consistency(self, merkle, tree):
+        tree.place(2, 2, 77)
+        merkle.rebuild()
+        for leaf in range(0, 32, 5):
+            merkle.verify_path(leaf)
+
+    def test_empty_and_distinct_buckets_hash_differently(self, merkle, tree):
+        a = merkle.compute_hash(5, 0)
+        b = merkle.compute_hash(5, 1)
+        assert a == b  # both empty leaves, same contents
+        tree.place(5, 1, 7)
+        assert merkle.compute_hash(5, 1) != a
+
+
+class TestControllerIntegration:
+    def test_full_run_with_integrity(self):
+        config = SystemConfig.tiny()
+        components = build_scheme("Baseline", config)
+        integrity = attach_integrity(components.controller)
+        trace = make_workload("random", config, 150, seed=6)
+        Simulator(components, trace).run()
+        stats = components.stats
+        assert stats.get("integrity.path_verifications") > 0
+        assert stats.get("integrity.path_updates") > 0
+        assert stats.get("integrity.violations") == 0
+
+    def test_mid_run_tampering_detected(self):
+        config = SystemConfig.tiny()
+        components = build_scheme("Baseline", config)
+        attach_integrity(components.controller)
+        trace = make_workload("random", config, 200, seed=8)
+        simulator = Simulator(components, trace)
+        controller = components.controller
+
+        original_step = controller.step
+        state = {"tampered": False}
+
+        def tampering_step(now, allow_dummy=True):
+            if not state["tampered"] and controller.path_count > 5:
+                tree = controller.tree
+                # flip the first real block found near the root region
+                for level in range(3):
+                    for position in range(1 << level):
+                        slots = tree.bucket(level, position)
+                        for i, block in enumerate(slots):
+                            if block != EMPTY:
+                                slots[i] = block + 1
+                                state["tampered"] = True
+                                break
+                        if state["tampered"]:
+                            break
+                    if state["tampered"]:
+                        break
+                if not state["tampered"]:
+                    slots = tree.bucket(0, 0)
+                    slots[0] = 12345 if slots[0] == EMPTY else slots[0] + 1
+                    state["tampered"] = True
+            return original_step(now, allow_dummy)
+
+        controller.step = tampering_step
+        with pytest.raises(IntegrityError):
+            simulator.run()

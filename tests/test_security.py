@@ -1,0 +1,114 @@
+"""Tests for the obliviousness checker (Section IV-E)."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.core.schemes import SCHEMES, build_scheme
+from repro.oram.types import PathAccessRecord, PathType
+from repro.security.obliviousness import (
+    AccessRecorder,
+    check_obliviousness,
+    _uniformity_test,
+)
+from repro.sim.runner import make_workload
+from repro.sim.simulator import Simulator
+
+
+def run_with_recorder(scheme, config, records=400, workload="random"):
+    components = build_scheme(scheme, config)
+    recorder = AccessRecorder()
+    components.controller.observer = recorder
+    trace = make_workload(workload, config, records, seed=3)
+    Simulator(components, trace).run()
+    return recorder, components
+
+
+@pytest.fixture
+def config():
+    return SystemConfig.tiny()
+
+
+class TestRealRuns:
+    @pytest.mark.parametrize(
+        "scheme", ["Baseline", "IR-Alloc", "IR-Stash", "IR-DWB", "IR-ORAM",
+                   "LLC-D"]
+    )
+    def test_scheme_is_oblivious(self, scheme, config):
+        recorder, components = run_with_recorder(scheme, config)
+        report = check_obliviousness(recorder, components.config.oram)
+        assert report.ok, report.violations
+
+    def test_issue_rate_respected(self, config):
+        recorder, components = run_with_recorder("Baseline", config)
+        report = check_obliviousness(recorder, components.config.oram)
+        assert report.min_interval is None or (
+            report.min_interval >= config.oram.issue_interval
+        )
+
+    def test_leaves_recorded_per_type(self, config):
+        recorder, _ = run_with_recorder("Baseline", config)
+        grouped = recorder.leaves_by_type()
+        assert PathType.DATA in grouped
+        assert all(leaves for leaves in grouped.values())
+
+
+class TestViolationDetection:
+    def _record(self, cycle, leaf, addresses, path_type=PathType.DATA):
+        return PathAccessRecord(
+            issue_cycle=cycle,
+            leaf=leaf,
+            path_type=path_type,
+            read_addresses=list(addresses),
+            write_addresses=list(addresses),
+        )
+
+    def test_rate_violation_flagged(self, config):
+        oram = config.oram
+        recorder = AccessRecorder()
+        shape = list(range(oram.blocks_per_path()))
+        recorder(self._record(0, 1, shape))
+        recorder(self._record(10, 2, shape))  # far below the interval
+        report = check_obliviousness(recorder, oram)
+        assert not report.rate_uniform
+        assert report.min_interval == 10
+
+    def test_mismatched_read_write_sets_flagged(self, config):
+        oram = config.oram
+        recorder = AccessRecorder()
+        record = self._record(0, 1, range(oram.blocks_per_path()))
+        record.write_addresses = record.write_addresses[:-1] + [999999]
+        recorder(record)
+        report = check_obliviousness(recorder, oram)
+        assert not report.shape_uniform
+
+    def test_biased_leaves_flagged(self, config):
+        oram = config.oram
+        recorder = AccessRecorder()
+        shape = list(range(oram.blocks_per_path()))
+        for i in range(200):
+            # all dummy paths go to one leaf: a detectable pattern
+            recorder(
+                self._record(
+                    i * oram.issue_interval, 0, shape, PathType.DUMMY
+                )
+            )
+        report = check_obliviousness(recorder, oram)
+        assert not report.leaf_uniform_by_type[PathType.DUMMY.value]
+
+    def test_uniformity_test_accepts_uniform(self):
+        import random
+
+        rng = random.Random(1)
+        leaves = [rng.randrange(256) for _ in range(3000)]
+        assert _uniformity_test(leaves, 256)
+
+    def test_uniformity_test_rejects_point_mass(self):
+        assert not _uniformity_test([7] * 500, 256)
+
+    def test_small_sample_not_judged(self, config):
+        recorder = AccessRecorder()
+        shape = list(range(config.oram.blocks_per_path()))
+        for i in range(10):
+            recorder(self._record(i * 10**6, 0, shape, PathType.DUMMY))
+        report = check_obliviousness(recorder, config.oram)
+        assert report.leaf_uniform_by_type[PathType.DUMMY.value]

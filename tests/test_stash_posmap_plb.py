@@ -1,0 +1,219 @@
+"""Unit tests for the stash, position map, PLB, and tree-top structures."""
+
+import random
+
+import pytest
+
+from repro.config import ORAMConfig
+from repro.errors import ProtocolError, StashOverflowError
+from repro.oram.plb import PLB
+from repro.oram.posmap import UNMAPPED, PositionMap
+from repro.oram.stash import Stash
+from repro.oram.treetop import TreeTopCache
+from repro.oram.types import Namespace
+
+from tests.conftest import make_oram
+
+
+class TestStash:
+    def test_add_and_lookup(self):
+        stash = Stash(10)
+        stash.add(5, leaf=3)
+        assert 5 in stash
+        assert stash.leaf_of(5) == 3
+        assert len(stash) == 1
+
+    def test_remove_returns_leaf(self):
+        stash = Stash(10)
+        stash.add(5, 3)
+        assert stash.remove(5) == 3
+        assert 5 not in stash
+
+    def test_remove_missing_raises(self):
+        with pytest.raises(ProtocolError):
+            Stash(10).remove(1)
+
+    def test_leaf_of_missing_raises(self):
+        with pytest.raises(ProtocolError):
+            Stash(10).leaf_of(1)
+
+    def test_update_leaf(self):
+        stash = Stash(10)
+        stash.add(5, 3)
+        stash.update_leaf(5, 9)
+        assert stash.leaf_of(5) == 9
+
+    def test_update_leaf_missing_raises(self):
+        with pytest.raises(ProtocolError):
+            Stash(10).update_leaf(5, 9)
+
+    def test_overflow_only_when_enforced(self):
+        stash = Stash(2)
+        stash.add(1, 0)
+        stash.add(2, 0)
+        stash.add(3, 0)  # soft overflow allowed
+        assert len(stash) == 3
+        with pytest.raises(StashOverflowError):
+            stash.add(4, 0, enforce_capacity=True)
+
+    def test_peak_occupancy(self):
+        stash = Stash(10)
+        for block in range(5):
+            stash.add(block, 0)
+        stash.remove(0)
+        assert stash.peak_occupancy == 5
+
+    def test_threshold_and_excess(self):
+        stash = Stash(4)
+        for block in range(5):
+            stash.add(block, 0)
+        assert stash.over_threshold(4)
+        assert not stash.over_threshold(5)
+        assert stash.occupancy_excess() == 1
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ProtocolError):
+            Stash(0)
+
+
+class TestNamespace:
+    @pytest.fixture
+    def ns(self):
+        return Namespace(make_oram(levels=12, user_blocks=4096))
+
+    def test_regions(self, ns):
+        assert ns.posmap1_base == 4096
+        assert ns.posmap2_base == 4096 + 256
+        assert ns.total_blocks == 4096 + 256 + 16
+
+    def test_kind_of(self, ns):
+        from repro.oram.types import BlockKind
+
+        assert ns.kind_of(0) is BlockKind.USER
+        assert ns.kind_of(4096) is BlockKind.POSMAP1
+        assert ns.kind_of(4096 + 256) is BlockKind.POSMAP2
+        with pytest.raises(ValueError):
+            ns.kind_of(ns.total_blocks)
+
+    def test_posmap1_block_groups_of_16(self, ns):
+        assert ns.posmap1_block(0) == 4096
+        assert ns.posmap1_block(15) == 4096
+        assert ns.posmap1_block(16) == 4097
+
+    def test_posmap2_block(self, ns):
+        assert ns.posmap2_block(4096) == ns.posmap2_base
+        assert ns.posmap2_block(4096 + 16) == ns.posmap2_base + 1
+
+    def test_parent_chain(self, ns):
+        pm1 = ns.posmap1_block(100)
+        pm2 = ns.posmap2_block(pm1)
+        assert ns.parent_block(100) == pm1
+        assert ns.parent_block(pm1) == pm2
+        assert ns.parent_block(pm2) is None
+
+    def test_path_type_for(self, ns):
+        from repro.oram.types import PathType
+
+        assert ns.path_type_for(5) is PathType.DATA
+        assert ns.path_type_for(4096) is PathType.POS1
+        assert ns.path_type_for(ns.posmap2_base) is PathType.POS2
+
+
+class TestPositionMap:
+    @pytest.fixture
+    def posmap(self):
+        oram = make_oram()
+        ns = Namespace(oram)
+        return PositionMap(ns, oram.leaves, random.Random(1))
+
+    def test_initial_mapping_in_range(self, posmap):
+        for block in range(0, posmap.namespace.total_blocks, 97):
+            assert 0 <= posmap.leaf_of(block) < posmap.leaves
+
+    def test_remap_changes_and_counts(self, posmap):
+        posmap.remap(5)
+        assert posmap.remap_count == 1
+        assert 0 <= posmap.leaf_of(5) < posmap.leaves
+
+    def test_discard_and_restore(self, posmap):
+        posmap.discard(5)
+        assert not posmap.is_mapped(5)
+        with pytest.raises(ProtocolError):
+            posmap.leaf_of(5)
+        leaf = posmap.restore(5)
+        assert posmap.leaf_of(5) == leaf
+
+    def test_restore_mapped_block_raises(self, posmap):
+        with pytest.raises(ProtocolError):
+            posmap.restore(5)
+
+    def test_remap_uniformity(self, posmap):
+        leaves = [posmap.remap(0) for _ in range(2000)]
+        low = sum(1 for leaf in leaves if leaf < posmap.leaves // 2)
+        assert 800 < low < 1200
+
+
+class TestPLB:
+    @pytest.fixture
+    def plb(self):
+        return PLB(make_oram(plb_sets=4, plb_ways=2))
+
+    def test_fill_then_hit(self, plb):
+        plb.fill(100)
+        assert plb.lookup(100)
+        assert plb.contains(100)
+
+    def test_miss_counted(self, plb):
+        assert not plb.lookup(100)
+        assert plb.stats.get("plb.lookup_misses") == 1
+
+    def test_eviction_returned(self, plb):
+        blocks = [4 * i for i in range(3)]  # same set (4 sets)
+        victims = [plb.fill(block) for block in blocks]
+        assert victims[0] is None and victims[1] is None
+        assert victims[2].block == blocks[0]
+
+    def test_mark_dirty_then_evict_carries_dirty(self, plb):
+        blocks = [4 * i for i in range(3)]
+        plb.fill(blocks[0])
+        plb.mark_dirty(blocks[0])
+        plb.fill(blocks[1])
+        victim = plb.fill(blocks[2])
+        assert victim.block == blocks[0] and victim.dirty
+
+    def test_flush_dirty(self, plb):
+        plb.fill(1, dirty=True)
+        plb.fill(2, dirty=False)
+        dirty = plb.flush_dirty()
+        assert dirty == [1]
+        assert plb.flush_dirty() == []
+
+    def test_occupancy(self, plb):
+        plb.fill(1)
+        plb.fill(2)
+        assert plb.occupancy() == 2
+
+
+class TestTreeTopCache:
+    def test_covers_levels(self):
+        top = TreeTopCache(make_oram(top=3))
+        assert top.covers_level(0)
+        assert top.covers_level(2)
+        assert not top.covers_level(3)
+
+    def test_not_addressable(self):
+        top = TreeTopCache(make_oram(top=3))
+        assert not top.addressable_by_block
+        assert not top.lookup_by_address(42)
+
+    def test_capacity_entries(self):
+        top = TreeTopCache(make_oram(top=3))
+        assert top.capacity_entries() == 4 * (1 + 2 + 4)
+
+    def test_placement_hooks_count(self):
+        top = TreeTopCache(make_oram(top=3))
+        assert top.may_place(1)
+        top.on_place(1)
+        top.on_remove(1)
+        assert top.stats.get("treetop.placed") == 1
+        assert top.stats.get("treetop.removed") == 1

@@ -1,0 +1,77 @@
+"""Unit tests for the statistics registry."""
+
+from repro.stats import Stats
+
+
+class TestCounters:
+    def test_inc_default(self):
+        stats = Stats()
+        stats.inc("a")
+        stats.inc("a", 2)
+        assert stats.get("a") == 3
+
+    def test_get_missing_returns_default(self):
+        stats = Stats()
+        assert stats.get("missing") == 0
+        assert stats.get("missing", 7) == 7
+
+    def test_set_overwrites(self):
+        stats = Stats()
+        stats.inc("a", 5)
+        stats.set("a", 1)
+        assert stats.get("a") == 1
+
+    def test_ratio(self):
+        stats = Stats()
+        stats.inc("hits", 3)
+        stats.inc("total", 4)
+        assert stats.ratio("hits", "total") == 0.75
+
+    def test_ratio_zero_denominator(self):
+        stats = Stats()
+        stats.inc("hits", 3)
+        assert stats.ratio("hits", "total") == 0.0
+
+    def test_snapshot_is_a_copy(self):
+        stats = Stats()
+        stats.inc("a")
+        snap = stats.snapshot()
+        stats.inc("a")
+        assert snap["a"] == 1
+
+
+class TestHistograms:
+    def test_bump_and_read(self):
+        stats = Stats()
+        stats.bump("levels", 3)
+        stats.bump("levels", 3, 2)
+        stats.bump("levels", "stash")
+        hist = stats.histogram("levels")
+        assert hist[3] == 3
+        assert hist["stash"] == 1
+
+    def test_missing_histogram_empty(self):
+        assert Stats().histogram("nope") == {}
+
+
+class TestSeries:
+    def test_record_appends(self):
+        stats = Stats()
+        stats.record("util", 0, [1.0])
+        stats.record("util", 10, [0.5])
+        assert stats.series["util"] == [(0, [1.0]), (10, [0.5])]
+
+
+class TestMerge:
+    def test_merge_counters_and_histograms(self):
+        a, b = Stats(), Stats()
+        a.inc("x", 1)
+        b.inc("x", 2)
+        b.inc("y", 3)
+        b.bump("h", "k", 4)
+        b.record("s", 1, "v")
+        a.merge(b)
+        assert a.get("x") == 3
+        assert a.get("y") == 3
+        assert a.histogram("h")["k"] == 4
+        assert a.series["s"] == [(1, "v")]

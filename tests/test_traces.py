@@ -1,0 +1,169 @@
+"""Unit tests for trace records, generators, mixing, and persistence."""
+
+import random
+
+import pytest
+
+from repro.errors import TraceError
+from repro.traces.benchmarks import BENCHMARKS, benchmark_trace, table2_rows
+from repro.traces.io import load_trace, save_trace
+from repro.traces.mix import benchmark_mix_with_random_tail, mix_traces, standard_mix
+from repro.traces.synthetic import random_trace, strided_trace, zipf_trace
+from repro.traces.trace import Trace, concat
+
+
+@pytest.fixture
+def rng():
+    return random.Random(42)
+
+
+class TestTrace:
+    def test_malformed_record_rejected(self):
+        with pytest.raises(TraceError):
+            Trace("bad", [(-1, 0, False)])
+
+    def test_statistics(self):
+        trace = Trace("t", [(1000, 1, False), (1000, 2, True), (0, 1, True)])
+        assert trace.instructions() == 2000
+        assert trace.reads() == 1
+        assert trace.writes() == 2
+        assert trace.footprint() == 2
+        read_mpki, write_mpki = trace.mpki()
+        assert read_mpki == pytest.approx(0.5)
+        assert write_mpki == pytest.approx(1.0)
+
+    def test_empty_trace_mpki(self):
+        assert Trace("e", []).mpki() == (0.0, 0.0)
+
+    def test_max_block_empty_raises(self):
+        with pytest.raises(TraceError):
+            Trace("e", []).max_block()
+
+    def test_slice(self):
+        trace = Trace("t", [(1, i, False) for i in range(10)])
+        assert len(trace.slice(3)) == 3
+
+    def test_concat(self):
+        a = Trace("a", [(1, 0, False)])
+        b = Trace("b", [(1, 1, True)])
+        joined = concat("ab", [a, b])
+        assert len(joined) == 2
+        assert joined.records[1] == (1, 1, True)
+
+
+class TestSynthetic:
+    def test_random_trace_footprint(self, rng):
+        trace = random_trace(500, 100, rng)
+        assert trace.max_block() < 100
+        assert len(trace) == 500
+
+    def test_random_trace_write_fraction(self, rng):
+        trace = random_trace(2000, 100, rng, write_fraction=0.5)
+        assert 0.4 < trace.writes() / len(trace) < 0.6
+
+    def test_random_trace_rejects_empty(self, rng):
+        with pytest.raises(TraceError):
+            random_trace(0, 100, rng)
+
+    def test_zipf_skew(self, rng):
+        trace = zipf_trace(3000, 1000, rng, alpha=1.2)
+        counts = {}
+        for _, block, _ in trace:
+            counts[block] = counts.get(block, 0) + 1
+        top = max(counts.values())
+        assert top > 3 * len(trace) / len(counts)
+
+    def test_strided_sequential(self, rng):
+        trace = strided_trace(10, 100, rng, stride=1)
+        blocks = [b for _, b, _ in trace]
+        deltas = {(b2 - b1) % 100 for b1, b2 in zip(blocks, blocks[1:])}
+        assert deltas == {1}
+
+
+class TestBenchmarks:
+    def test_all_thirteen_present(self):
+        assert len(BENCHMARKS) == 13
+        assert {"gcc", "mcf", "lbm", "xz"} <= set(BENCHMARKS)
+
+    def test_table2_rows_match_models(self):
+        rows = table2_rows()
+        assert len(rows) == 13
+        by_name = {row["benchmark"]: row for row in rows}
+        assert by_name["lbm"]["write_mpki"] == 45.3
+        assert by_name["mcf"]["read_mpki"] == 19.5
+
+    def test_write_prob(self):
+        assert BENCHMARKS["lbm"].write_prob == 1.0
+        assert BENCHMARKS["mcf"].write_prob < 0.01
+
+    def test_generated_length_and_bounds(self, rng):
+        trace = benchmark_trace(BENCHMARKS["gcc"], 4096, 500, rng)
+        assert len(trace) == 500
+        assert trace.max_block() < 4096
+
+    def test_region_confinement(self, rng):
+        trace = benchmark_trace(
+            BENCHMARKS["mcf"], 8192, 500, rng, base_block=4096, region_blocks=1024
+        )
+        blocks = [b for _, b, _ in trace]
+        assert min(blocks) >= 4096
+        assert max(blocks) < 4096 + 1024
+
+    def test_write_mix_tracks_model(self, rng):
+        trace = benchmark_trace(BENCHMARKS["xz"], 8192, 3000, rng)
+        expected = BENCHMARKS["xz"].write_prob
+        actual = trace.writes() / len(trace)
+        assert abs(actual - expected) < 0.08
+
+    def test_intensity_tracks_model(self, rng):
+        model = BENCHMARKS["lbm"]
+        trace = benchmark_trace(model, 65536, 4000, rng)
+        read_mpki, write_mpki = trace.mpki()
+        assert (read_mpki + write_mpki) == pytest.approx(model.l1_mpki, rel=0.4)
+
+    def test_empty_count_rejected(self, rng):
+        with pytest.raises(TraceError):
+            benchmark_trace(BENCHMARKS["gcc"], 4096, 0, rng)
+
+
+class TestMix:
+    def test_mix_preserves_all_records(self, rng):
+        a = Trace("a", [(1, 0, False)] * 10)
+        b = Trace("b", [(1, 1, True)] * 5)
+        mixed = mix_traces([a, b], rng)
+        assert len(mixed) == 15
+        assert sum(1 for _, blk, _ in mixed if blk == 1) == 5
+
+    def test_mix_rejects_empty_list(self, rng):
+        with pytest.raises(TraceError):
+            mix_traces([], rng)
+
+    def test_standard_mix_regions_disjoint(self, rng):
+        mixed = standard_mix(12288, 300, rng)
+        assert len(mixed) == 300
+        assert mixed.max_block() < 12288
+
+    def test_mix_with_random_tail_layout(self, rng):
+        trace = benchmark_mix_with_random_tail(8192, 200, 50, rng)
+        assert len(trace) >= 245  # mix rounding can drop a few records
+
+
+class TestIO:
+    def test_round_trip(self, tmp_path, rng):
+        trace = random_trace(50, 64, rng, write_fraction=0.3)
+        path = tmp_path / "trace.txt"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert loaded.records == trace.records
+
+    def test_malformed_line_rejected(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("1 2 X\n")
+        with pytest.raises(TraceError):
+            load_trace(path)
+
+    def test_comments_ignored(self, tmp_path):
+        path = tmp_path / "ok.txt"
+        path.write_text("# header\n5 3 W\n\n")
+        trace = load_trace(path)
+        assert trace.records == [(5, 3, True)]
