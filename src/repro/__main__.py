@@ -5,6 +5,7 @@ Commands
 run         Run one scheme on one workload and print the result summary.
 compare     Run several schemes on one workload, normalized to the first.
 experiments Regenerate the paper's tables/figures (wraps run_all).
+bench       Run the performance suite; write/check BENCH_*.json reports.
 schemes     List available schemes.
 workloads   List available workloads.
 zsearch     Run the IR-Alloc greedy Z-search on a given tree geometry.
@@ -75,7 +76,38 @@ def cmd_compare(args: argparse.Namespace) -> int:
 def cmd_experiments(args: argparse.Namespace) -> int:
     from .experiments import run_all
 
-    run_all.main(args.ids)
+    run_all.main(args.ids, jobs=args.jobs)
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from .perf import bench
+
+    reference = None
+    if args.check:
+        # Load before the (slow) run so a bad path fails fast.
+        try:
+            reference = bench.load_report(args.check)
+        except OSError as exc:
+            print(f"cannot read reference report: {exc}", file=sys.stderr)
+            return 1
+    report = bench.run_bench(smoke=args.smoke, jobs=args.jobs)
+    print(bench.format_report(report))
+    if args.out:
+        bench.save_report(report, args.out)
+        print(f"\nreport written to {args.out}")
+    if args.check:
+        failures = bench.check_report(
+            report, reference, max_regression=args.max_regression
+        )
+        if failures:
+            for failure in failures:
+                print(f"REGRESSION: {failure}", file=sys.stderr)
+            return 1
+        print(
+            f"\ncheck vs {args.check}: OK "
+            f"(max regression {args.max_regression:.1f}x)"
+        )
     return 0
 
 
@@ -135,7 +167,24 @@ def build_parser() -> argparse.ArgumentParser:
 
     exp_p = sub.add_parser("experiments", help="regenerate tables/figures")
     exp_p.add_argument("ids", nargs="*", help='e.g. "Fig. 10" "Table II"')
+    exp_p.add_argument("--jobs", type=int, default=1,
+                       help="experiment regenerators run in parallel")
     exp_p.set_defaults(func=cmd_experiments)
+
+    bench_p = sub.add_parser(
+        "bench", help="performance suite (full-system + hot-path kernel)"
+    )
+    bench_p.add_argument("--smoke", action="store_true",
+                         help="small fast variant (used by CI)")
+    bench_p.add_argument("--jobs", type=int, default=1,
+                         help="simulation points run in parallel")
+    bench_p.add_argument("--out", default=None,
+                         help="write the JSON report here")
+    bench_p.add_argument("--check", default=None,
+                         help="reference BENCH_*.json to compare against")
+    bench_p.add_argument("--max-regression", type=float, default=2.0,
+                         help="allowed throughput regression factor")
+    bench_p.set_defaults(func=cmd_bench)
 
     sub.add_parser("schemes", help="list schemes").set_defaults(
         func=cmd_schemes

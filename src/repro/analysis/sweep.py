@@ -15,8 +15,9 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from ..config import SystemConfig
 from ..errors import ConfigError
+from ..perf.parallel import SimPoint, fanout
 from ..sim.results import SimulationResult
-from ..sim.runner import run_benchmark
+from ..sim.runner import run_benchmark  # noqa: F401  (re-exported API)
 
 #: knob name -> function(config, value) -> new config
 KNOBS: Dict[str, Callable[[SystemConfig, Any], SystemConfig]] = {
@@ -101,18 +102,30 @@ def sweep_parameter(
     config: Optional[SystemConfig] = None,
     records: int = 3000,
     seed: int = 7,
+    jobs: int = 1,
 ) -> SweepResult:
-    """Run ``scheme`` on ``workload`` across every value of one knob."""
+    """Run ``scheme`` on ``workload`` across every value of one knob.
+
+    With ``jobs > 1`` the points fan out over worker processes (each point
+    is an independent simulation); results are identical to the serial
+    run and stay in ``values`` order.
+    """
     if parameter not in KNOBS:
         raise ConfigError(
             f"unknown sweep parameter {parameter!r}; options: {sorted(KNOBS)}"
         )
     base = config if config is not None else SystemConfig.scaled()
     sweep = SweepResult(parameter=parameter, scheme=scheme, workload=workload)
-    for value in values:
-        candidate = KNOBS[parameter](base, value)
-        result = run_benchmark(
-            scheme, workload, candidate, records=records, seed=seed
+    points = [
+        SimPoint(
+            scheme,
+            workload,
+            records=records,
+            seed=seed,
+            config=KNOBS[parameter](base, value),
         )
-        sweep.points.append(SweepPoint(value=value, result=result))
+        for value in values
+    ]
+    for value, item in zip(values, fanout(points, jobs=jobs)):
+        sweep.points.append(SweepPoint(value=value, result=item.result))
     return sweep

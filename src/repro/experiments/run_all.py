@@ -55,16 +55,25 @@ ALL_EXPERIMENTS: List[Tuple[str, Callable[[], ExperimentResult]]] = [
 ]
 
 
-def main(argv: List[str] = None) -> List[ExperimentResult]:
+def _run_named(name: str) -> Tuple[str, ExperimentResult, float]:
+    """Worker for parallel regeneration (module-level, picklable)."""
+    runner = dict(ALL_EXPERIMENTS)[name]
+    start = time.time()
+    result = runner()
+    return name, result, time.time() - start
+
+
+def main(argv: List[str] = None, jobs: int = 1) -> List[ExperimentResult]:
     argv = argv if argv is not None else sys.argv[1:]
     selected = set(argv)
+    names = [
+        name for name, _ in ALL_EXPERIMENTS
+        if not selected or name in selected
+    ]
+    from ..perf.parallel import fanout_map
+
     results = []
-    for name, runner in ALL_EXPERIMENTS:
-        if selected and name not in selected:
-            continue
-        start = time.time()
-        result = runner()
-        elapsed = time.time() - start
+    for name, result, elapsed in fanout_map(_run_named, names, jobs=jobs):
         print(result.to_text())
         print(f"[{name} regenerated in {elapsed:.1f}s]")
         print()

@@ -13,6 +13,12 @@ The model is driven in *batches*: the ORAM controller hands over all block
 accesses of one path phase at once and receives the cycle at which the
 phase completes.  All public times are in CPU cycles (3.2 GHz); internal
 state is kept in DRAM cycles (800 MHz).
+
+Bank state is held in flat integer lists (``bank_ready``,
+``bank_open_row`` with ``-1`` meaning closed, ``bus_free``) indexed by
+``channel * banks_per_channel + bank``.  The batch-service inner loop runs
+in the optional :mod:`repro.perf.native` C kernel when available, with a
+bit-identical pure-Python fallback.
 """
 
 from __future__ import annotations
@@ -20,16 +26,12 @@ from __future__ import annotations
 from typing import Iterable, List, Optional, Tuple
 
 from ..config import DRAMConfig
+from ..perf.native import fastpath as _native
 from ..stats import Stats
 from .request import MemAccess
 
-
-class _Bank:
-    __slots__ = ("open_row", "ready")
-
-    def __init__(self) -> None:
-        self.open_row: Optional[int] = None
-        self.ready: int = 0
+#: sentinel row id meaning "no row open in this bank"
+_CLOSED = -1
 
 
 class DRAMModel:
@@ -43,11 +45,10 @@ class DRAMModel:
     def __init__(self, config: DRAMConfig, stats: Optional[Stats] = None) -> None:
         self.config = config
         self.stats = stats if stats is not None else Stats()
-        self._banks = [
-            [_Bank() for _ in range(config.banks_per_channel)]
-            for _ in range(config.channels)
-        ]
-        self._bus_free = [0] * config.channels
+        n_banks = config.channels * config.banks_per_channel
+        self.bank_ready: List[int] = [0] * n_banks
+        self.bank_open_row: List[int] = [_CLOSED] * n_banks
+        self.bus_free: List[int] = [0] * config.channels
 
     # -- address decomposition ----------------------------------------------
     def decompose(self, phys_block: int) -> Tuple[int, int, int]:
@@ -57,6 +58,27 @@ class DRAMModel:
         channel = row % cfg.channels
         bank = (row // cfg.channels) % cfg.banks_per_channel
         return channel, bank, row
+
+    def decompose_batch(self, addresses: Iterable[int]) -> List[int]:
+        """Pre-resolve addresses to a flat ``[bank, channel, row, ...]`` list.
+
+        The triples use this model's flat bank indexing, so they stay valid
+        across :meth:`reset_state` and can be cached by callers that service
+        the same address batch repeatedly (path reads/writes).
+        """
+        cfg = self.config
+        row_blocks = cfg.row_blocks
+        channels = cfg.channels
+        banks_per_channel = cfg.banks_per_channel
+        flat: List[int] = []
+        append = flat.append
+        for phys_block in addresses:
+            row = phys_block // row_blocks
+            channel = row % channels
+            append(channel * banks_per_channel + (row // channels) % banks_per_channel)
+            append(channel)
+            append(row)
+        return flat
 
     # -- timing --------------------------------------------------------------
     def service_batch(self, accesses: Iterable[MemAccess], start_cycle: int) -> int:
@@ -84,49 +106,86 @@ class DRAMModel:
     def service_addresses(
         self, addresses: List[int], is_write: bool, start_cycle: int
     ) -> int:
-        """Fast path: service raw physical block addresses in order."""
+        """Service raw physical block addresses in order."""
+        return self.service_decomposed(
+            self.decompose_batch(addresses), is_write, start_cycle
+        )
+
+    def service_decomposed(
+        self, triples: List[int], is_write: bool, start_cycle: int
+    ) -> int:
+        """Hot path: service a pre-decomposed flat triple list.
+
+        Timing-identical to :meth:`service_addresses` on the corresponding
+        address list; callers cache the triples per path leaf.
+        """
         cfg = self.config
-        row_blocks = cfg.row_blocks
-        channels = cfg.channels
-        banks_per_channel = cfg.banks_per_channel
         now_dram = -(-start_cycle // cfg.cpu_cycles_per_dram_cycle)
+        if _native is not None:
+            finish, row_hits, conflicts = _native.dram_service(
+                triples,
+                self.bank_ready,
+                self.bank_open_row,
+                self.bus_free,
+                now_dram,
+                cfg.t_rp,
+                cfg.t_rcd,
+                cfg.t_burst,
+                cfg.t_cas + cfg.t_burst,
+            )
+        else:
+            finish, row_hits, conflicts = self._service_py(triples, now_dram)
+        count = len(triples) // 3
+        counters = self.stats.counters
+        counters["dram.accesses"] += count
+        counters["dram.row_hits"] += row_hits
+        counters["dram.row_conflicts"] += conflicts
+        counters["dram.writes" if is_write else "dram.reads"] += count
+        return finish * cfg.cpu_cycles_per_dram_cycle
+
+    def _service_py(
+        self, triples: List[int], now_dram: int
+    ) -> Tuple[int, int, int]:
+        """Pure-Python batch service; the native kernel's oracle."""
+        cfg = self.config
         finish = now_dram
         row_hits = 0
         conflicts = 0
-        cas_burst = cfg.t_cas + cfg.t_burst
-        bus_free = self._bus_free
-        for phys_block in addresses:
-            row = phys_block // row_blocks
-            channel = row % channels
-            bank = self._banks[channel][(row // channels) % banks_per_channel]
-            t = bank.ready
+        t_rp = cfg.t_rp
+        t_rcd = cfg.t_rcd
+        t_burst = cfg.t_burst
+        cas_burst = cfg.t_cas + t_burst
+        bus_free = self.bus_free
+        ready = self.bank_ready
+        open_row = self.bank_open_row
+        for i in range(0, len(triples), 3):
+            bank = triples[i]
+            channel = triples[i + 1]
+            row = triples[i + 2]
+            t = ready[bank]
             free = bus_free[channel]
             if free > t:
                 t = free
             if now_dram > t:
                 t = now_dram
-            if bank.open_row != row:
-                if bank.open_row is not None:
-                    t += cfg.t_rp
+            current = open_row[bank]
+            if current != row:
+                if current != _CLOSED:
+                    t += t_rp
                     conflicts += 1
-                t += cfg.t_rcd
-                bank.open_row = row
+                t += t_rcd
+                open_row[bank] = row
             else:
                 row_hits += 1
             # Column accesses pipeline: the next command can issue after
             # one burst slot; the data itself lands tCAS later.
             done = t + cas_burst
-            next_slot = t + cfg.t_burst
+            next_slot = t + t_burst
             bus_free[channel] = next_slot
-            bank.ready = next_slot
+            ready[bank] = next_slot
             if done > finish:
                 finish = done
-        count = len(addresses)
-        self.stats.inc("dram.accesses", count)
-        self.stats.inc("dram.row_hits", row_hits)
-        self.stats.inc("dram.row_conflicts", conflicts)
-        self.stats.inc("dram.writes" if is_write else "dram.reads", count)
-        return finish * cfg.cpu_cycles_per_dram_cycle
+        return finish, row_hits, conflicts
 
     def access_latency(self, access: MemAccess, start_cycle: int) -> int:
         """Service a single access; convenience wrapper over a batch of one."""
@@ -140,11 +199,10 @@ class DRAMModel:
 
     def reset_state(self) -> None:
         """Close all rows and idle all buses; counters are preserved."""
-        for channel in self._banks:
-            for bank in channel:
-                bank.open_row = None
-                bank.ready = 0
-        self._bus_free = [0] * self.config.channels
+        n_banks = len(self.bank_ready)
+        self.bank_ready[:] = [0] * n_banks
+        self.bank_open_row[:] = [_CLOSED] * n_banks
+        self.bus_free[:] = [0] * self.config.channels
 
 
 def batch_from_addresses(

@@ -100,6 +100,29 @@ class TreeLayout:
             row_cursor += rows * (1 << top)
         self.total_rows = row_cursor
 
+        # Flat per-level lookup used by the path_addresses() hot path:
+        # (leaf shift, Z, subtree depth r, local mask — doubling as the
+        #  heap-index base (1 << r) - 1 — offsets table, supernode row
+        #  base, rows per supernode).
+        self._level_meta: List[tuple] = []
+        for level in range(self.first_level, oram.levels):
+            z = oram.z_per_level[level]
+            if z == 0:
+                continue
+            rel = level - self.first_level
+            s, r = divmod(rel, k)
+            self._level_meta.append(
+                (
+                    oram.levels - 1 - level,
+                    z,
+                    r,
+                    (1 << r) - 1,
+                    self.local_offsets[s],
+                    self.superlevel_row_base[s],
+                    self.supernode_rows[s],
+                )
+            )
+
     # -- queries -------------------------------------------------------------
     def slot_address(self, level: int, position: int, slot: int) -> int:
         """Physical block address of one tree slot.
@@ -142,12 +165,19 @@ class TreeLayout:
         cached = self._path_cache.get(leaf)
         if cached is not None:
             return cached
+        row_blocks = self.dram.row_blocks
         addrs: List[int] = []
-        for level in range(self.first_level, self.oram.levels):
-            position = leaf >> (self.oram.levels - 1 - level)
-            if self.oram.z_per_level[level] == 0:
-                continue
-            addrs.extend(self.bucket_addresses(level, position))
+        append = addrs.append
+        for shift, z, r, mask, offsets, row_base, rows in self._level_meta:
+            position = leaf >> shift
+            offset = offsets[mask + (position & mask)]
+            row = row_base + (position >> r) * rows
+            for slot in range(z):
+                combined = offset + slot
+                append(
+                    (row + combined // row_blocks) * row_blocks
+                    + combined % row_blocks
+                )
         if len(self._path_cache) >= 1 << 16:
             self._path_cache.clear()
         self._path_cache[leaf] = addrs

@@ -36,6 +36,7 @@ from ..config import SystemConfig
 from ..errors import ProtocolError
 from ..mem.dram import DRAMModel
 from ..mem.layout import TreeLayout
+from ..perf.native import fastpath as _fastpath
 from ..stats import Stats
 from .plb import PLB
 from .posmap import PositionMap
@@ -54,6 +55,10 @@ from .types import (
 #: Latency charged for requests served entirely on chip (stash, S-Stash,
 #: or tree-top hits): SRAM lookups plus controller occupancy.
 ONCHIP_LATENCY = 20
+
+#: Pre-rendered per-path-type stat keys (the write/read phases are hot).
+_PATHS_KEY = {pt: f"paths.{pt.value}" for pt in PathType}
+_MEM_BLOCKS_KEY = {pt: f"mem.blocks.{pt.value}" for pt in PathType}
 
 #: After this many back-to-back eviction slots one queued request is let
 #: through, preventing starvation during eviction storms.
@@ -95,6 +100,7 @@ class PathORAMController:
         self.namespace = Namespace(self.oram)
         self.tree = ORAMTree(self.oram)
         self.stash = Stash(self.oram.stash_capacity, self.stats)
+        self.stash.configure_path_index(self.oram.levels)
         self.posmap = PositionMap(self.namespace, self.oram.leaves, self.rng)
         self.plb = PLB(self.oram, self.stats)
         self.layout = TreeLayout(self.oram, config.dram)
@@ -110,6 +116,28 @@ class PathORAMController:
         self.observer: Optional[Callable[[PathAccessRecord], None]] = None
         #: when True, classify write-phase placements for Fig. 5
         self.track_migration = False
+
+        #: leaf -> (decomposed DRAM triples, block count) for one path;
+        #: the triples alias the DRAM model's live bank objects.
+        self._path_dram: dict = {}
+        #: C kernel for the read-phase stash fill (valid for every scheme:
+        #: tree-top removal hooks run in Python on the returned top blocks)
+        self._native_bulk = (
+            _fastpath
+            if _fastpath is not None and self.oram.levels < 64
+            else None
+        )
+        #: C kernel for the whole write phase; only valid for the ungated
+        #: dedicated tree-top cache, whose placement hooks are bare
+        #: counters (S-Stash schemes gate placement and keep the Python
+        #: placement loop, with only the pool grouping in C).
+        self._native = (
+            self._native_bulk
+            if self._native_bulk is not None
+            and type(self.treetop) is TreeTopCache
+            else None
+        )
+        self._z_list = list(self.oram.z_per_level)
 
         self.queue: Deque[Request] = deque()
         #: PosMap blocks evicted from the PLB whose re-insertion into the
@@ -295,10 +323,13 @@ class PathORAMController:
 
     def _find_in_treetop(self, block: int, leaf: int) -> Optional[Tuple[int, int]]:
         """Locate ``block`` in the cached-top portion of its path."""
-        for level in range(self.oram.top_cached_levels):
-            position = self.tree.path_position(leaf, level)
-            if block in self.tree.bucket(level, position):
-                return level, position
+        top = self.oram.top_cached_levels
+        shift = self.oram.levels - 1
+        for level, slots in self.tree.path_slots(leaf):
+            if level >= top:
+                break
+            if block in slots:
+                return level, leaf >> (shift - level)
         return None
 
     def _remove_from_treetop(self, block: int) -> None:
@@ -430,24 +461,49 @@ class PathORAMController:
         Returns ``(finish_read, start, removed_blocks)`` where
         ``removed_blocks`` are the real blocks pulled into the stash.
         """
-        addresses = self.layout.path_addresses(leaf)
-        finish_read = self.dram.service_addresses(addresses, False, now)
+        triples, blocks = self._path_dram_triples(leaf)
+        finish_read = self.dram.service_decomposed(triples, False, now)
 
         removed = self.tree.read_and_clear(leaf)
         top = self.oram.top_cached_levels
-        for block, level in removed:
-            if level < top:
-                self.treetop.on_remove(block)
-            self.stash.add(block, self.posmap.leaf_of(block))
+        counters = self.stats.counters
+        if self._native_bulk is not None:
+            stash = self.stash
+            next_seq, top_blocks = self._native_bulk.stash_bulk_add(
+                removed,
+                stash._entries,
+                stash._seq,
+                stash._by_prefix,
+                stash._prefix_shift,
+                stash._next_seq,
+                self.posmap._leaf_of,
+                top,
+            )
+            stash._next_seq = next_seq
+            occupancy = len(stash._entries)
+            if occupancy > stash.peak_occupancy:
+                stash.peak_occupancy = occupancy
+            if top_blocks:
+                treetop_remove = self.treetop.on_remove
+                for block in top_blocks:
+                    treetop_remove(block)
+        else:
+            stash_add = self.stash.add
+            leaf_of = self.posmap.leaf_of
+            treetop_remove = self.treetop.on_remove
+            for block, level in removed:
+                if level < top:
+                    treetop_remove(block)
+                stash_add(block, leaf_of(block))
 
         self.path_count += 1
-        self.stats.inc(f"paths.{path_type.value}")
-        self.stats.inc("paths.total")
-        blocks = len(addresses)
-        self.stats.inc("mem.blocks_read", blocks)
-        self.stats.inc(f"mem.blocks.{path_type.value}", 2 * blocks)
+        counters[_PATHS_KEY[path_type]] += 1
+        counters["paths.total"] += 1
+        counters["mem.blocks_read"] += blocks
+        counters[_MEM_BLOCKS_KEY[path_type]] += 2 * blocks
 
         if self.observer is not None:
+            addresses = self.layout.path_addresses(leaf)
             record = PathAccessRecord(
                 issue_cycle=now,
                 leaf=leaf,
@@ -458,9 +514,143 @@ class PathORAMController:
             self.observer(record)
         return finish_read, now, removed
 
+    def _path_dram_triples(self, leaf: int) -> Tuple[list, int]:
+        """Memoized ``(decomposed triples, block count)`` for one path."""
+        cached = self._path_dram.get(leaf)
+        if cached is None:
+            if _fastpath is not None:
+                dram_cfg = self.config.dram
+                triples = _fastpath.path_triples(
+                    leaf,
+                    self.layout._level_meta,
+                    dram_cfg.row_blocks,
+                    dram_cfg.channels,
+                    dram_cfg.banks_per_channel,
+                )
+                cached = (triples, len(triples) // 3)
+            else:
+                addresses = self.layout.path_addresses(leaf)
+                cached = (
+                    self.dram.decompose_batch(addresses),
+                    len(addresses),
+                )
+            if len(self._path_dram) >= ORAMTree.PATH_CACHE_LIMIT:
+                self._path_dram.clear()
+            self._path_dram[leaf] = cached
+        return cached
+
     def _write_path(self, leaf: int, finish_read: int, path_type: PathType,
                     preexisting: Optional[Set[int]] = None) -> int:
-        """Greedy bottom-up write phase; returns the write completion cycle."""
+        """Greedy bottom-up write phase; returns the write completion cycle.
+
+        Eviction candidates come pre-grouped by deepest eligible level from
+        the stash's leaf-prefix index (:meth:`Stash.path_pools`) instead of
+        a full stash scan, and bucket slots are filled directly.  The
+        placement decisions — and therefore every counter and cycle — are
+        bit-identical to :meth:`_write_path_reference`.
+        """
+        oram = self.oram
+        levels = oram.levels
+        top = oram.top_cached_levels
+        tree = self.tree
+        stash_remove = self.stash.remove
+        treetop = self.treetop
+        stats = self.stats
+        z_per_level = oram.z_per_level
+        level_used = tree.level_used
+        track = self.track_migration and preexisting is not None
+
+        if self._native is not None and not track:
+            stash = self.stash
+            try:
+                top_placed = self._native.write_path_place(
+                    leaf,
+                    stash._entries,
+                    stash._seq,
+                    stash._by_prefix,
+                    stash._prefix_shift,
+                    stash._prefix_levels,
+                    tree.path_slots(leaf),
+                    self._z_list,
+                    level_used,
+                    levels,
+                    top,
+                    EMPTY,
+                )
+            except RuntimeError as exc:
+                raise ProtocolError(str(exc)) from None
+            if top_placed:
+                stats.counters["treetop.placed"] += top_placed
+            triples, blocks = self._path_dram_triples(leaf)
+            finish_write = self.dram.service_decomposed(
+                triples, True, finish_read
+            )
+            stats.counters["mem.blocks_written"] += blocks
+            self._after_write_phase()
+            return finish_write
+
+        path_slots = tree.path_slots(leaf)
+        slot_idx = len(path_slots) - 1
+        pools = self.stash.path_pools(leaf)
+        pool: List[int] = []
+        for level in range(levels - 1, -1, -1):
+            sub = pools[level]
+            if sub:
+                pool.extend(sub)
+            z = z_per_level[level]
+            if z == 0:
+                continue
+            slots = path_slots[slot_idx][1]
+            slot_idx -= 1
+            if not pool:
+                continue
+            gated = level < top
+            rejected: Optional[List[int]] = None
+            placed = 0
+            while pool and placed < z:
+                block = pool.pop()
+                if gated and not treetop.may_place(block):
+                    if rejected is None:
+                        rejected = []
+                    rejected.append(block)
+                    stats.inc("sstash.placement_skips")
+                    continue
+                try:
+                    free = slots.index(EMPTY)
+                except ValueError:
+                    raise ProtocolError(
+                        "bucket full during write phase"
+                    ) from None
+                slots[free] = block
+                level_used[level] += 1
+                if gated:
+                    treetop.on_place(block)
+                stash_remove(block)
+                placed += 1
+                if track:
+                    origin = (
+                        "preexisting" if block in preexisting else "fetched"
+                    )
+                    stats.bump(f"migration.{origin}", level)
+            if rejected:
+                pool.extend(rejected)
+
+        triples, blocks = self._path_dram_triples(leaf)
+        finish_write = self.dram.service_decomposed(triples, True, finish_read)
+        stats.counters["mem.blocks_written"] += blocks
+        self._after_write_phase()
+        return finish_write
+
+    def _write_path_reference(
+        self, leaf: int, finish_read: int, path_type: PathType,
+        preexisting: Optional[Set[int]] = None,
+    ) -> int:
+        """The pre-optimization write phase, retained verbatim.
+
+        Kept as the behavioural oracle for the optimized :meth:`_write_path`:
+        the seed-sweep equivalence tests run whole simulations against both
+        and assert identical cycles and counters.
+        """
         oram = self.oram
         levels = oram.levels
         top = oram.top_cached_levels

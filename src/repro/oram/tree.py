@@ -16,6 +16,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..config import ORAMConfig
 from ..errors import ProtocolError
+from ..perf.native import fastpath as _native
 
 #: Marker for an unoccupied slot (a "dummy block" once encrypted).
 EMPTY = -1
@@ -32,6 +33,9 @@ class ORAMTree:
 
     DENSE_LEVEL_LIMIT = 21
 
+    #: paths whose (level, slots) sequences are memoized at once
+    PATH_CACHE_LIMIT = 1 << 16
+
     def __init__(self, config: ORAMConfig) -> None:
         self.config = config
         self.levels = config.levels
@@ -47,6 +51,10 @@ class ORAMTree:
             )
         else:
             self._sparse: Dict[int, List[int]] = {}
+        #: leaf -> [(level, slots), ...] for z>0 levels.  Slot lists are
+        #: created once and only ever mutated in place, so caching the
+        #: references is safe.
+        self._path_slots_cache: Dict[int, List[Tuple[int, List[int]]]] = {}
 
     # -- bucket access -------------------------------------------------------
     @staticmethod
@@ -91,6 +99,22 @@ class ORAMTree:
         xor = leaf_a ^ leaf_b
         return (self.levels - 1) - xor.bit_length()
 
+    def path_slots(self, leaf: int) -> List[Tuple[int, List[int]]]:
+        """Memoized ``(level, slots)`` pairs of a path's z>0 buckets."""
+        cached = self._path_slots_cache.get(leaf)
+        if cached is not None:
+            return cached
+        shift = self.levels - 1
+        pairs = [
+            (level, self.bucket(level, leaf >> (shift - level)))
+            for level in range(self.levels)
+            if self.z_per_level[level] != 0
+        ]
+        if len(self._path_slots_cache) >= self.PATH_CACHE_LIMIT:
+            self._path_slots_cache.clear()
+        self._path_slots_cache[leaf] = pairs
+        return pairs
+
     # -- slot mutation -----------------------------------------------------------
     def read_and_clear(
         self, leaf: int, from_level: int = 0
@@ -100,13 +124,23 @@ class ORAMTree:
         This is the read phase of a path access: every slot is fetched, real
         blocks go to the caller (the stash), dummies are discarded.
         """
+        if from_level == 0:
+            pairs = self.path_slots(leaf)
+        else:
+            pairs = [
+                (level, slots)
+                for level, _, slots in self.path_buckets(leaf, from_level)
+            ]
+        if _native is not None:
+            return _native.read_and_clear(pairs, self.level_used, EMPTY)
         removed: List[Tuple[int, int]] = []
-        for level, _, slots in self.path_buckets(leaf, from_level):
+        level_used = self.level_used
+        for level, slots in pairs:
             for i, block in enumerate(slots):
                 if block != EMPTY:
                     removed.append((block, level))
                     slots[i] = EMPTY
-                    self.level_used[level] -= 1
+                    level_used[level] -= 1
         return removed
 
     def place(self, level: int, position: int, block: int) -> bool:
@@ -144,15 +178,49 @@ class ORAMTree:
         overflow: List[int] = []
         block_list = list(blocks)
         rng.shuffle(block_list)
+        if self.total_used():
+            # Pre-occupied tree: fall back to per-slot placement.
+            for block in block_list:
+                leaf = leaf_of(block)
+                for level in range(self.levels - 1, -1, -1):
+                    if self.z_per_level[level] == 0:
+                        continue
+                    if self.place(level, self.path_position(leaf, level), block):
+                        break
+                else:
+                    overflow.append(block)
+            return overflow
+        # Bulk placement into a fresh tree only ever fills the first empty
+        # slot of each bucket, so per-bucket fill counters stand in for slot
+        # scans; buckets materialize once at the end.
+        levels = self.levels
+        shift = levels - 1
+        z_per_level = self.z_per_level
+        level_used = self.level_used
+        fill: Dict[int, int] = {}
+        pending: Dict[int, List[int]] = {}
+        active_levels = [
+            level for level in range(levels - 1, -1, -1)
+            if z_per_level[level] != 0
+        ]
         for block in block_list:
             leaf = leaf_of(block)
-            placed = False
-            for level in range(self.levels - 1, -1, -1):
-                if self.z_per_level[level] == 0:
-                    continue
-                if self.place(level, self.path_position(leaf, level), block):
-                    placed = True
+            for level in active_levels:
+                index = (1 << level) - 1 + (leaf >> (shift - level))
+                count = fill.get(index, 0)
+                if count < z_per_level[level]:
+                    fill[index] = count + 1
+                    bucket_blocks = pending.get(index)
+                    if bucket_blocks is None:
+                        pending[index] = bucket_blocks = []
+                    bucket_blocks.append(block)
+                    level_used[level] += 1
                     break
-            if not placed:
+            else:
                 overflow.append(block)
+        for index, bucket_blocks in pending.items():
+            level = (index + 1).bit_length() - 1
+            position = index - ((1 << level) - 1)
+            slots = self.bucket(level, position)
+            slots[: len(bucket_blocks)] = bucket_blocks
         return overflow

@@ -1,0 +1,820 @@
+/* Optional C hot-path kernels for the repro simulator.
+ *
+ * Compiled on demand by repro.perf.native with the system C compiler and
+ * loaded as the extension module `_repro_fastpath`.  Every function here
+ * mirrors a pure-Python implementation bit for bit — the Python versions
+ * stay in the tree as both fallback and behavioural oracle, and the
+ * equivalence tests compare whole simulations across the two.
+ *
+ * The kernels operate directly on the simulator's live Python objects
+ * (plain lists of ints), so there is a single source of truth for all
+ * state; no separate C-side state is kept.
+ */
+
+#define PY_SSIZE_T_CLEAN
+#include <Python.h>
+#include <stdlib.h>
+#include <string.h>
+
+/* dram_service(triples, ready, open_row, bus_free,
+ *              now_dram, t_rp, t_rcd, t_burst, cas_burst)
+ *   -> (finish_dram, row_hits, row_conflicts)
+ *
+ * `triples` is the flat [bank, channel, row, ...] list produced by
+ * DRAMModel.decompose_batch; `ready`, `open_row` (row id or -1 = closed)
+ * and `bus_free` are the model's bank-state lists, mutated in place.
+ * Mirrors DRAMModel._service_py.
+ */
+static PyObject *
+dram_service(PyObject *self, PyObject *args)
+{
+    PyObject *triples, *ready, *open_row, *bus_free;
+    long long now_dram, t_rp, t_rcd, t_burst, cas_burst;
+    if (!PyArg_ParseTuple(
+            args, "O!O!O!O!LLLLL",
+            &PyList_Type, &triples, &PyList_Type, &ready,
+            &PyList_Type, &open_row, &PyList_Type, &bus_free,
+            &now_dram, &t_rp, &t_rcd, &t_burst, &cas_burst))
+        return NULL;
+
+    Py_ssize_t n = PyList_GET_SIZE(triples);
+    long long finish = now_dram;
+    long long row_hits = 0;
+    long long conflicts = 0;
+
+    for (Py_ssize_t i = 0; i + 2 < n; i += 3) {
+        long long bank = PyLong_AsLongLong(PyList_GET_ITEM(triples, i));
+        long long channel = PyLong_AsLongLong(PyList_GET_ITEM(triples, i + 1));
+        long long row = PyLong_AsLongLong(PyList_GET_ITEM(triples, i + 2));
+        if (PyErr_Occurred())
+            return NULL;
+        if (bank < 0 || bank >= PyList_GET_SIZE(ready) ||
+            channel < 0 || channel >= PyList_GET_SIZE(bus_free)) {
+            PyErr_SetString(PyExc_IndexError, "bank/channel out of range");
+            return NULL;
+        }
+
+        long long t = PyLong_AsLongLong(PyList_GET_ITEM(ready, bank));
+        long long freed = PyLong_AsLongLong(PyList_GET_ITEM(bus_free, channel));
+        if (freed > t)
+            t = freed;
+        if (now_dram > t)
+            t = now_dram;
+
+        long long current = PyLong_AsLongLong(PyList_GET_ITEM(open_row, bank));
+        if (PyErr_Occurred())
+            return NULL;
+        if (current != row) {
+            if (current != -1) {
+                t += t_rp;
+                conflicts++;
+            }
+            t += t_rcd;
+            PyObject *row_obj = PyLong_FromLongLong(row);
+            if (row_obj == NULL)
+                return NULL;
+            PyList_SetItem(open_row, bank, row_obj);
+        } else {
+            row_hits++;
+        }
+
+        long long done = t + cas_burst;
+        long long next_slot = t + t_burst;
+        PyObject *slot_obj = PyLong_FromLongLong(next_slot);
+        if (slot_obj == NULL)
+            return NULL;
+        PyList_SetItem(bus_free, channel, slot_obj);
+        slot_obj = PyLong_FromLongLong(next_slot);
+        if (slot_obj == NULL)
+            return NULL;
+        PyList_SetItem(ready, bank, slot_obj);
+        if (done > finish)
+            finish = done;
+    }
+    return Py_BuildValue("LLL", finish, row_hits, conflicts);
+}
+
+/* read_and_clear(pairs, level_used, empty) -> [(block, level), ...]
+ *
+ * `pairs` is a list of (level, slots) tuples (ORAMTree.path_slots);
+ * every non-empty slot is cleared to `empty`, its block collected, and
+ * level_used decremented per level.  Mirrors the pure-Python loop in
+ * ORAMTree.read_and_clear.
+ */
+static PyObject *
+read_and_clear(PyObject *self, PyObject *args)
+{
+    PyObject *pairs, *level_used;
+    long long empty;
+    if (!PyArg_ParseTuple(args, "O!O!L",
+                          &PyList_Type, &pairs,
+                          &PyList_Type, &level_used, &empty))
+        return NULL;
+
+    PyObject *removed = PyList_New(0);
+    if (removed == NULL)
+        return NULL;
+    PyObject *empty_obj = PyLong_FromLongLong(empty);
+    if (empty_obj == NULL) {
+        Py_DECREF(removed);
+        return NULL;
+    }
+
+    Py_ssize_t n_pairs = PyList_GET_SIZE(pairs);
+    for (Py_ssize_t p = 0; p < n_pairs; p++) {
+        PyObject *pair = PyList_GET_ITEM(pairs, p);
+        if (!PyTuple_Check(pair) || PyTuple_GET_SIZE(pair) != 2) {
+            PyErr_SetString(PyExc_TypeError, "pairs must hold (level, slots)");
+            goto fail;
+        }
+        PyObject *level_obj = PyTuple_GET_ITEM(pair, 0);
+        PyObject *slots = PyTuple_GET_ITEM(pair, 1);
+        if (!PyList_Check(slots)) {
+            PyErr_SetString(PyExc_TypeError, "slots must be a list");
+            goto fail;
+        }
+        Py_ssize_t z = PyList_GET_SIZE(slots);
+        long long cleared = 0;
+        for (Py_ssize_t i = 0; i < z; i++) {
+            PyObject *block = PyList_GET_ITEM(slots, i);
+            long long value = PyLong_AsLongLong(block);
+            if (PyErr_Occurred())
+                goto fail;
+            if (value == empty)
+                continue;
+            PyObject *tup = PyTuple_Pack(2, block, level_obj);
+            if (tup == NULL)
+                goto fail;
+            int rc = PyList_Append(removed, tup);
+            Py_DECREF(tup);
+            if (rc < 0)
+                goto fail;
+            Py_INCREF(empty_obj);
+            PyList_SetItem(slots, i, empty_obj);
+            cleared++;
+        }
+        if (cleared) {
+            long long level = PyLong_AsLongLong(level_obj);
+            if (PyErr_Occurred())
+                goto fail;
+            if (level < 0 || level >= PyList_GET_SIZE(level_used)) {
+                PyErr_SetString(PyExc_IndexError, "level out of range");
+                goto fail;
+            }
+            long long used =
+                PyLong_AsLongLong(PyList_GET_ITEM(level_used, level));
+            if (PyErr_Occurred())
+                goto fail;
+            PyObject *used_obj = PyLong_FromLongLong(used - cleared);
+            if (used_obj == NULL)
+                goto fail;
+            PyList_SetItem(level_used, level, used_obj);
+        }
+    }
+    Py_DECREF(empty_obj);
+    return removed;
+
+fail:
+    Py_DECREF(empty_obj);
+    Py_DECREF(removed);
+    return NULL;
+}
+
+/* ---------------------------------------------------------------- */
+/* Stash index surgery shared by the bulk-add and write-path kernels */
+/* ---------------------------------------------------------------- */
+
+static inline long long
+bit_length(unsigned long long x)
+{
+    return x ? 64 - __builtin_clzll(x) : 0;
+}
+
+/* Remove `block` from the stash dicts (entries, seq, prefix bucket).
+ * The caller must hold another reference to `block` (e.g. a tree slot).
+ */
+static int
+stash_remove_indexed(PyObject *entries, PyObject *seq_dict,
+                     PyObject *by_prefix, long long prefix_shift,
+                     PyObject *block)
+{
+    PyObject *leaf_obj = PyDict_GetItem(entries, block);
+    if (leaf_obj == NULL) {
+        PyErr_SetString(PyExc_KeyError, "block not in stash");
+        return -1;
+    }
+    long long leaf = PyLong_AsLongLong(leaf_obj);
+    if (leaf == -1 && PyErr_Occurred())
+        return -1;
+    PyObject *seq_obj = PyDict_GetItem(seq_dict, block);
+    if (seq_obj == NULL) {
+        PyErr_SetString(PyExc_KeyError, "block not in stash seq index");
+        return -1;
+    }
+    Py_INCREF(seq_obj);
+    PyObject *prefix_obj = PyLong_FromLongLong(leaf >> prefix_shift);
+    if (prefix_obj == NULL) {
+        Py_DECREF(seq_obj);
+        return -1;
+    }
+    PyObject *bucket = PyDict_GetItem(by_prefix, prefix_obj);
+    if (bucket == NULL || PyDict_DelItem(bucket, seq_obj) < 0) {
+        if (bucket == NULL)
+            PyErr_SetString(PyExc_KeyError, "stash prefix bucket missing");
+        Py_DECREF(prefix_obj);
+        Py_DECREF(seq_obj);
+        return -1;
+    }
+    if (PyDict_GET_SIZE(bucket) == 0 &&
+        PyDict_DelItem(by_prefix, prefix_obj) < 0) {
+        Py_DECREF(prefix_obj);
+        Py_DECREF(seq_obj);
+        return -1;
+    }
+    Py_DECREF(prefix_obj);
+    Py_DECREF(seq_obj);
+    if (PyDict_DelItem(seq_dict, block) < 0)
+        return -1;
+    return PyDict_DelItem(entries, block);
+}
+
+/* stash_bulk_add(removed, entries, seq_dict, by_prefix, prefix_shift,
+ *                next_seq, leaf_table, top) -> (next_seq, top_blocks)
+ *
+ * Insert every (block, level) pair pulled off a path into the stash with
+ * full leaf-prefix index maintenance, mirroring Stash.add.  Blocks read
+ * out of the cached top levels are returned so the caller can run the
+ * tree-top structure's removal hook on exactly those.
+ */
+static PyObject *
+stash_bulk_add(PyObject *self, PyObject *args)
+{
+    PyObject *removed, *entries, *seq_dict, *by_prefix, *leaf_table;
+    long long prefix_shift, next_seq, top;
+    if (!PyArg_ParseTuple(args, "O!O!O!O!LLO!L",
+                          &PyList_Type, &removed,
+                          &PyDict_Type, &entries,
+                          &PyDict_Type, &seq_dict,
+                          &PyDict_Type, &by_prefix,
+                          &prefix_shift, &next_seq,
+                          &PyList_Type, &leaf_table, &top))
+        return NULL;
+
+    PyObject *top_blocks = PyList_New(0);
+    if (top_blocks == NULL)
+        return NULL;
+    Py_ssize_t n = PyList_GET_SIZE(removed);
+    Py_ssize_t table_size = PyList_GET_SIZE(leaf_table);
+    for (Py_ssize_t i = 0; i < n; i++) {
+        PyObject *pair = PyList_GET_ITEM(removed, i);
+        PyObject *block = PyTuple_GET_ITEM(pair, 0);
+        long long level = PyLong_AsLongLong(PyTuple_GET_ITEM(pair, 1));
+        long long block_id = PyLong_AsLongLong(block);
+        if (PyErr_Occurred())
+            goto fail;
+        if (level < top && PyList_Append(top_blocks, block) < 0)
+            goto fail;
+        if (block_id < 0 || block_id >= table_size) {
+            PyErr_SetString(PyExc_IndexError, "block outside position map");
+            goto fail;
+        }
+        PyObject *leaf_obj = PyList_GET_ITEM(leaf_table, block_id);
+        long long leaf = PyLong_AsLongLong(leaf_obj);
+        if (leaf == -1) {
+            if (!PyErr_Occurred())
+                PyErr_SetString(PyExc_ValueError, "block has no mapping");
+            goto fail;
+        }
+
+        PyObject *old_leaf = PyDict_GetItem(entries, block);
+        if (PyDict_SetItem(entries, block, leaf_obj) < 0)
+            goto fail;
+        if (old_leaf == NULL) {
+            /* Fresh entry: assign a sequence number and index it. */
+            PyObject *seq_obj = PyLong_FromLongLong(next_seq);
+            if (seq_obj == NULL)
+                goto fail;
+            next_seq++;
+            if (PyDict_SetItem(seq_dict, block, seq_obj) < 0) {
+                Py_DECREF(seq_obj);
+                goto fail;
+            }
+            PyObject *prefix_obj = PyLong_FromLongLong(leaf >> prefix_shift);
+            if (prefix_obj == NULL) {
+                Py_DECREF(seq_obj);
+                goto fail;
+            }
+            PyObject *bucket = PyDict_GetItem(by_prefix, prefix_obj);
+            if (bucket == NULL) {
+                bucket = PyDict_New();
+                if (bucket == NULL ||
+                    PyDict_SetItem(by_prefix, prefix_obj, bucket) < 0) {
+                    Py_XDECREF(bucket);
+                    Py_DECREF(prefix_obj);
+                    Py_DECREF(seq_obj);
+                    goto fail;
+                }
+                Py_DECREF(bucket);  /* by_prefix holds it now */
+            }
+            if (PyDict_SetItem(bucket, seq_obj, block) < 0) {
+                Py_DECREF(prefix_obj);
+                Py_DECREF(seq_obj);
+                goto fail;
+            }
+            Py_DECREF(prefix_obj);
+            Py_DECREF(seq_obj);
+        } else {
+            /* Existing entry: keep its seq, move buckets if needed. */
+            long long old = PyLong_AsLongLong(old_leaf);
+            if (old == -1 && PyErr_Occurred())
+                goto fail;
+            long long old_prefix = old >> prefix_shift;
+            long long new_prefix = leaf >> prefix_shift;
+            if (old_prefix != new_prefix) {
+                PyObject *seq_obj = PyDict_GetItem(seq_dict, block);
+                if (seq_obj == NULL) {
+                    PyErr_SetString(PyExc_KeyError, "stash seq missing");
+                    goto fail;
+                }
+                Py_INCREF(seq_obj);
+                PyObject *old_obj = PyLong_FromLongLong(old_prefix);
+                PyObject *bucket =
+                    old_obj ? PyDict_GetItem(by_prefix, old_obj) : NULL;
+                if (bucket == NULL || PyDict_DelItem(bucket, seq_obj) < 0) {
+                    if (bucket == NULL && !PyErr_Occurred())
+                        PyErr_SetString(PyExc_KeyError,
+                                        "stash prefix bucket missing");
+                    Py_XDECREF(old_obj);
+                    Py_DECREF(seq_obj);
+                    goto fail;
+                }
+                if (PyDict_GET_SIZE(bucket) == 0)
+                    PyDict_DelItem(by_prefix, old_obj);
+                Py_DECREF(old_obj);
+                PyObject *new_obj = PyLong_FromLongLong(new_prefix);
+                if (new_obj == NULL) {
+                    Py_DECREF(seq_obj);
+                    goto fail;
+                }
+                bucket = PyDict_GetItem(by_prefix, new_obj);
+                if (bucket == NULL) {
+                    bucket = PyDict_New();
+                    if (bucket == NULL ||
+                        PyDict_SetItem(by_prefix, new_obj, bucket) < 0) {
+                        Py_XDECREF(bucket);
+                        Py_DECREF(new_obj);
+                        Py_DECREF(seq_obj);
+                        goto fail;
+                    }
+                    Py_DECREF(bucket);
+                }
+                if (PyDict_SetItem(bucket, seq_obj, block) < 0) {
+                    Py_DECREF(new_obj);
+                    Py_DECREF(seq_obj);
+                    goto fail;
+                }
+                Py_DECREF(new_obj);
+                Py_DECREF(seq_obj);
+            }
+        }
+    }
+    {
+        PyObject *seq_val = PyLong_FromLongLong(next_seq);
+        if (seq_val == NULL)
+            goto fail;
+        PyObject *result = PyTuple_Pack(2, seq_val, top_blocks);
+        Py_DECREF(seq_val);
+        Py_DECREF(top_blocks);
+        return result;
+    }
+
+fail:
+    Py_DECREF(top_blocks);
+    return NULL;
+}
+
+/* write_path_place(leaf, entries, seq_dict, by_prefix, prefix_shift,
+ *                  prefix_levels, path_slots, z_per_level, level_used,
+ *                  levels, top, empty) -> placed_top
+ *
+ * The full greedy bottom-up write phase for the ungated case (dedicated
+ * tree-top cache: may_place always true, placement hooks are counters):
+ * group every stash block by deepest eligible level via the leaf-prefix
+ * index, then fill bucket slots deepest-first, removing placed blocks
+ * from the stash.  Mirrors Stash.path_pools + the placement loop in
+ * PathORAMController._write_path.
+ */
+
+typedef struct {
+    long long seq;
+    PyObject *block;
+} PoolItem;
+
+static int
+pool_item_cmp(const void *a, const void *b)
+{
+    long long sa = ((const PoolItem *)a)->seq;
+    long long sb = ((const PoolItem *)b)->seq;
+    return (sa > sb) - (sa < sb);
+}
+
+#define FASTPATH_MAX_LEVELS 64
+
+/* Depth-bucket every stash block for the path to `leaf` via the prefix
+ * index: blocks sharing the target prefix get an exact XOR/bit-length
+ * depth, diverging prefix buckets land wholesale at the prefix divergence
+ * depth.  Fills `items` (capacity >= len(entries)) segmented by depth
+ * (counts/offsets, length `levels`), each segment sorted by stash
+ * insertion sequence.  Mirrors Stash.path_pools.  Returns 0, or -1 with
+ * an exception set.
+ */
+static int
+group_by_depth(long long leaf, PyObject *entries, PyObject *by_prefix,
+               long long prefix_shift, long long prefix_levels,
+               long long levels, PoolItem *items,
+               Py_ssize_t *counts, Py_ssize_t *offsets)
+{
+    long long base = levels - 1;
+    long long target_prefix = leaf >> prefix_shift;
+    Py_ssize_t fill[FASTPATH_MAX_LEVELS];
+    PyObject *prefix_obj, *bucket;
+    Py_ssize_t pos = 0;
+
+    memset(counts, 0, sizeof(Py_ssize_t) * (size_t)levels);
+    /* count per depth */
+    while (PyDict_Next(by_prefix, &pos, &prefix_obj, &bucket)) {
+        long long prefix = PyLong_AsLongLong(prefix_obj);
+        if (prefix == -1 && PyErr_Occurred())
+            return -1;
+        if (prefix == target_prefix) {
+            PyObject *seq_obj, *block;
+            Py_ssize_t bpos = 0;
+            while (PyDict_Next(bucket, &bpos, &seq_obj, &block)) {
+                PyObject *leaf_obj = PyDict_GetItem(entries, block);
+                if (leaf_obj == NULL) {
+                    PyErr_SetString(PyExc_KeyError,
+                                    "stash index out of sync");
+                    return -1;
+                }
+                long long block_leaf = PyLong_AsLongLong(leaf_obj);
+                if (block_leaf == -1 && PyErr_Occurred())
+                    return -1;
+                long long depth =
+                    base - bit_length(
+                        (unsigned long long)(leaf ^ block_leaf));
+                counts[depth]++;
+            }
+        } else {
+            long long depth =
+                prefix_levels - bit_length(
+                    (unsigned long long)(prefix ^ target_prefix));
+            counts[depth] += PyDict_GET_SIZE(bucket);
+        }
+    }
+    offsets[0] = 0;
+    for (long long d = 1; d < levels; d++)
+        offsets[d] = offsets[d - 1] + counts[d - 1];
+    memcpy(fill, offsets, sizeof(Py_ssize_t) * (size_t)levels);
+    /* fill */
+    pos = 0;
+    while (PyDict_Next(by_prefix, &pos, &prefix_obj, &bucket)) {
+        long long prefix = PyLong_AsLongLong(prefix_obj);
+        PyObject *seq_obj, *block;
+        Py_ssize_t bpos = 0;
+        if (prefix == target_prefix) {
+            while (PyDict_Next(bucket, &bpos, &seq_obj, &block)) {
+                long long block_leaf = PyLong_AsLongLong(
+                    PyDict_GetItem(entries, block));
+                long long depth =
+                    base - bit_length(
+                        (unsigned long long)(leaf ^ block_leaf));
+                items[fill[depth]].seq = PyLong_AsLongLong(seq_obj);
+                items[fill[depth]].block = block;
+                fill[depth]++;
+            }
+        } else {
+            long long depth =
+                prefix_levels - bit_length(
+                    (unsigned long long)(prefix ^ target_prefix));
+            while (PyDict_Next(bucket, &bpos, &seq_obj, &block)) {
+                items[fill[depth]].seq = PyLong_AsLongLong(seq_obj);
+                items[fill[depth]].block = block;
+                fill[depth]++;
+            }
+        }
+    }
+    if (PyErr_Occurred())
+        return -1;
+    for (long long d = 0; d < levels; d++)
+        if (counts[d] > 1)
+            qsort(items + offsets[d], (size_t)counts[d],
+                  sizeof(PoolItem), pool_item_cmp);
+    return 0;
+}
+
+/* path_pools_fill(leaf, entries, by_prefix, prefix_shift, prefix_levels,
+ *                 levels, pools) -> None
+ *
+ * Fill the stash's reusable per-depth pool lists for the path to `leaf`
+ * (the grouping step of the write phase), leaving placement to the
+ * caller — used by schemes whose tree-top structure gates placement.
+ */
+static PyObject *
+path_pools_fill(PyObject *self, PyObject *args)
+{
+    PyObject *entries, *by_prefix, *pools;
+    long long leaf, prefix_shift, prefix_levels, levels;
+    if (!PyArg_ParseTuple(args, "LO!O!LLLO!",
+                          &leaf,
+                          &PyDict_Type, &entries,
+                          &PyDict_Type, &by_prefix,
+                          &prefix_shift, &prefix_levels, &levels,
+                          &PyList_Type, &pools))
+        return NULL;
+    if (levels < 1 || levels > FASTPATH_MAX_LEVELS ||
+        PyList_GET_SIZE(pools) < (Py_ssize_t)levels) {
+        PyErr_SetString(PyExc_ValueError, "unsupported level count");
+        return NULL;
+    }
+    for (long long d = 0; d < levels; d++) {
+        PyObject *pool = PyList_GET_ITEM(pools, d);
+        if (!PyList_Check(pool)) {
+            PyErr_SetString(PyExc_TypeError, "pools must hold lists");
+            return NULL;
+        }
+        if (PyList_GET_SIZE(pool) &&
+            PyList_SetSlice(pool, 0, PY_SSIZE_T_MAX, NULL) < 0)
+            return NULL;
+    }
+    Py_ssize_t total = PyDict_GET_SIZE(entries);
+    if (total == 0)
+        Py_RETURN_NONE;
+
+    PoolItem *items = PyMem_Malloc(sizeof(PoolItem) * (size_t)total);
+    if (items == NULL)
+        return PyErr_NoMemory();
+    Py_ssize_t counts[FASTPATH_MAX_LEVELS];
+    Py_ssize_t offsets[FASTPATH_MAX_LEVELS];
+    if (group_by_depth(leaf, entries, by_prefix, prefix_shift,
+                       prefix_levels, levels, items, counts, offsets) < 0) {
+        PyMem_Free(items);
+        return NULL;
+    }
+    for (long long d = 0; d < levels; d++) {
+        PyObject *pool = PyList_GET_ITEM(pools, d);
+        for (Py_ssize_t i = 0; i < counts[d]; i++) {
+            if (PyList_Append(pool, items[offsets[d] + i].block) < 0) {
+                PyMem_Free(items);
+                return NULL;
+            }
+        }
+    }
+    PyMem_Free(items);
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+write_path_place(PyObject *self, PyObject *args)
+{
+    PyObject *entries, *seq_dict, *by_prefix, *path_slots, *z_list,
+        *level_used;
+    long long leaf, prefix_shift, prefix_levels, levels, top, empty;
+    if (!PyArg_ParseTuple(args, "LO!O!O!LLO!O!O!LLL",
+                          &leaf,
+                          &PyDict_Type, &entries,
+                          &PyDict_Type, &seq_dict,
+                          &PyDict_Type, &by_prefix,
+                          &prefix_shift, &prefix_levels,
+                          &PyList_Type, &path_slots,
+                          &PyList_Type, &z_list,
+                          &PyList_Type, &level_used,
+                          &levels, &top, &empty))
+        return NULL;
+    if (levels < 1 || levels > FASTPATH_MAX_LEVELS) {
+        PyErr_SetString(PyExc_ValueError, "unsupported level count");
+        return NULL;
+    }
+
+    Py_ssize_t total = PyDict_GET_SIZE(entries);
+    long long placed_top = 0;
+    if (total == 0)
+        return PyLong_FromLongLong(0);
+
+    PoolItem *items = PyMem_Malloc(sizeof(PoolItem) * (size_t)total * 2);
+    if (items == NULL)
+        return PyErr_NoMemory();
+    PoolItem *stack = items + total;
+    Py_ssize_t counts[FASTPATH_MAX_LEVELS];
+    Py_ssize_t offsets[FASTPATH_MAX_LEVELS];
+
+    /* Pass 1: depth-bucket every stash block via the prefix index. */
+    if (group_by_depth(leaf, entries, by_prefix, prefix_shift,
+                       prefix_levels, levels, items, counts, offsets) < 0)
+        goto fail;
+
+    /* Pass 2: greedy bottom-up placement, pool kept as a stack. */
+    {
+        Py_ssize_t stack_size = 0;
+        Py_ssize_t ps_idx = PyList_GET_SIZE(path_slots) - 1;
+        for (long long level = levels - 1; level >= 0; level--) {
+            Py_ssize_t cnt = counts[level];
+            if (cnt) {
+                memcpy(stack + stack_size, items + offsets[level],
+                       sizeof(PoolItem) * (size_t)cnt);
+                stack_size += cnt;
+            }
+            long long z = PyLong_AsLongLong(
+                PyList_GET_ITEM(z_list, level));
+            if (z == -1 && PyErr_Occurred())
+                goto fail;
+            if (z == 0)
+                continue;
+            if (ps_idx < 0) {
+                PyErr_SetString(PyExc_ValueError,
+                                "path_slots out of sync with z_per_level");
+                goto fail;
+            }
+            PyObject *pair = PyList_GET_ITEM(path_slots, ps_idx);
+            long long pair_level =
+                PyLong_AsLongLong(PyTuple_GET_ITEM(pair, 0));
+            if (pair_level != level) {
+                PyErr_SetString(PyExc_ValueError,
+                                "path_slots out of sync with z_per_level");
+                goto fail;
+            }
+            PyObject *slots = PyTuple_GET_ITEM(pair, 1);
+            ps_idx--;
+            if (stack_size == 0)
+                continue;
+            Py_ssize_t z_size = PyList_GET_SIZE(slots);
+            Py_ssize_t scan = 0;
+            long long placed = 0;
+            long long used_delta = 0;
+            while (stack_size > 0 && placed < z) {
+                PyObject *block = stack[--stack_size].block;
+                /* first EMPTY slot (earlier ones were just filled) */
+                Py_ssize_t free_idx = -1;
+                for (Py_ssize_t i = scan; i < z_size; i++) {
+                    long long occupant = PyLong_AsLongLong(
+                        PyList_GET_ITEM(slots, i));
+                    if (occupant == -1 && PyErr_Occurred())
+                        goto fail;
+                    if (occupant == empty) {
+                        free_idx = i;
+                        break;
+                    }
+                }
+                if (free_idx < 0) {
+                    PyErr_SetString(PyExc_RuntimeError,
+                                    "bucket full during write phase");
+                    goto fail;
+                }
+                Py_INCREF(block);
+                PyList_SetItem(slots, free_idx, block);
+                scan = free_idx + 1;
+                used_delta++;
+                placed++;
+                if (level < top)
+                    placed_top++;
+                if (stash_remove_indexed(entries, seq_dict, by_prefix,
+                                         prefix_shift, block) < 0)
+                    goto fail;
+            }
+            if (used_delta) {
+                long long used = PyLong_AsLongLong(
+                    PyList_GET_ITEM(level_used, level));
+                if (used == -1 && PyErr_Occurred())
+                    goto fail;
+                PyObject *used_obj =
+                    PyLong_FromLongLong(used + used_delta);
+                if (used_obj == NULL)
+                    goto fail;
+                PyList_SetItem(level_used, level, used_obj);
+            }
+        }
+    }
+    PyMem_Free(items);
+    return PyLong_FromLongLong(placed_top);
+
+fail:
+    PyMem_Free(items);
+    return NULL;
+}
+
+/* path_triples(leaf, level_meta, row_blocks, channels, banks_per_channel)
+ *   -> [bank, channel, row, ...]
+ *
+ * Fused TreeLayout.path_addresses + DRAMModel.decompose_batch for one
+ * path: walk the layout's per-level meta tuples
+ * (shift, z, r, mask, offsets, row_base, rows) and emit the flat DRAM
+ * triple list directly, skipping the intermediate address list.
+ */
+static PyObject *
+path_triples(PyObject *self, PyObject *args)
+{
+    PyObject *meta;
+    long long leaf, row_blocks, channels, banks_per_channel;
+    if (!PyArg_ParseTuple(args, "LO!LLL",
+                          &leaf, &PyList_Type, &meta,
+                          &row_blocks, &channels, &banks_per_channel))
+        return NULL;
+    if (row_blocks <= 0 || channels <= 0 || banks_per_channel <= 0) {
+        PyErr_SetString(PyExc_ValueError, "invalid DRAM geometry");
+        return NULL;
+    }
+
+    Py_ssize_t n_levels = PyList_GET_SIZE(meta);
+    Py_ssize_t total = 0;
+    for (Py_ssize_t i = 0; i < n_levels; i++) {
+        PyObject *entry = PyList_GET_ITEM(meta, i);
+        long long z = PyLong_AsLongLong(PyTuple_GET_ITEM(entry, 1));
+        if (z == -1 && PyErr_Occurred())
+            return NULL;
+        total += (Py_ssize_t)z;
+    }
+    PyObject *flat = PyList_New(total * 3);
+    if (flat == NULL)
+        return NULL;
+    Py_ssize_t out = 0;
+    for (Py_ssize_t i = 0; i < n_levels; i++) {
+        PyObject *entry = PyList_GET_ITEM(meta, i);
+        long long shift = PyLong_AsLongLong(PyTuple_GET_ITEM(entry, 0));
+        long long z = PyLong_AsLongLong(PyTuple_GET_ITEM(entry, 1));
+        long long r = PyLong_AsLongLong(PyTuple_GET_ITEM(entry, 2));
+        long long mask = PyLong_AsLongLong(PyTuple_GET_ITEM(entry, 3));
+        PyObject *offsets = PyTuple_GET_ITEM(entry, 4);
+        long long row_base = PyLong_AsLongLong(PyTuple_GET_ITEM(entry, 5));
+        long long rows = PyLong_AsLongLong(PyTuple_GET_ITEM(entry, 6));
+        if (PyErr_Occurred() || !PyList_Check(offsets)) {
+            if (!PyErr_Occurred())
+                PyErr_SetString(PyExc_TypeError, "offsets must be a list");
+            goto fail;
+        }
+        long long position = leaf >> shift;
+        Py_ssize_t off_idx = (Py_ssize_t)(mask + (position & mask));
+        if (off_idx < 0 || off_idx >= PyList_GET_SIZE(offsets)) {
+            PyErr_SetString(PyExc_IndexError, "layout offset out of range");
+            goto fail;
+        }
+        long long offset =
+            PyLong_AsLongLong(PyList_GET_ITEM(offsets, off_idx));
+        if (offset == -1 && PyErr_Occurred())
+            goto fail;
+        long long row0 = row_base + (position >> r) * rows;
+        for (long long slot = 0; slot < z; slot++) {
+            long long combined = offset + slot;
+            long long row = row0 + combined / row_blocks;
+            long long channel = row % channels;
+            long long bank =
+                channel * banks_per_channel +
+                (row / channels) % banks_per_channel;
+            PyObject *bank_obj = PyLong_FromLongLong(bank);
+            PyObject *chan_obj = PyLong_FromLongLong(channel);
+            PyObject *row_obj = PyLong_FromLongLong(row);
+            if (bank_obj == NULL || chan_obj == NULL || row_obj == NULL) {
+                Py_XDECREF(bank_obj);
+                Py_XDECREF(chan_obj);
+                Py_XDECREF(row_obj);
+                goto fail;
+            }
+            PyList_SET_ITEM(flat, out++, bank_obj);
+            PyList_SET_ITEM(flat, out++, chan_obj);
+            PyList_SET_ITEM(flat, out++, row_obj);
+        }
+    }
+    return flat;
+
+fail:
+    Py_DECREF(flat);
+    return NULL;
+}
+
+static PyMethodDef fastpath_methods[] = {
+    {"dram_service", dram_service, METH_VARARGS,
+     "Batch DRAM timing over pre-decomposed (bank, channel, row) triples."},
+    {"read_and_clear", read_and_clear, METH_VARARGS,
+     "Clear a path's slots, returning the removed (block, level) pairs."},
+    {"stash_bulk_add", stash_bulk_add, METH_VARARGS,
+     "Insert read-phase blocks into the stash with index maintenance."},
+    {"write_path_place", write_path_place, METH_VARARGS,
+     "Greedy bottom-up write-phase placement for ungated tree-top caches."},
+    {"path_triples", path_triples, METH_VARARGS,
+     "Fused path address generation + DRAM decomposition for one leaf."},
+    {"path_pools_fill", path_pools_fill, METH_VARARGS,
+     "Group stash blocks by deepest eligible level into reusable pools."},
+    {NULL, NULL, 0, NULL},
+};
+
+static struct PyModuleDef fastpath_module = {
+    PyModuleDef_HEAD_INIT,
+    "_repro_fastpath",
+    "C hot-path kernels for the repro ORAM simulator.",
+    -1,
+    fastpath_methods,
+};
+
+PyMODINIT_FUNC
+PyInit__repro_fastpath(void)
+{
+    return PyModule_Create(&fastpath_module);
+}

@@ -1,0 +1,196 @@
+"""The ``python -m repro bench`` performance suite.
+
+Two sections, both deterministic for a fixed seed:
+
+* **suite** — full-system simulations (scheme × workload grid) through
+  :func:`repro.perf.parallel.fanout`, timed per point and end to end;
+* **kernel** — a tight ``dummy_path`` loop per scheme, measuring the
+  hot-path layer alone (read phase + stash + write phase + DRAM model)
+  in paths per second, with no trace/LLC machinery around it.
+
+Reports are machine-readable JSON (``BENCH_PR1.json`` at the repo root is
+the committed reference).  ``--check`` compares the *normalized*
+throughputs (paths per second, which are records-count independent) of a
+fresh run against a reference report and fails on regressions beyond
+``--max-regression`` — this is what CI runs with ``--smoke``.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..config import SystemConfig
+from .native import available as native_available
+from .parallel import SimPoint, run_points
+
+#: tree levels for every bench configuration (kept modest so the suite
+#: finishes in seconds while still exercising the real protocol depth)
+BENCH_LEVELS = 13
+
+FULL_SCHEMES = ["Baseline", "IR-Alloc", "IR-Stash", "IR-DWB", "IR-ORAM", "LLC-D"]
+FULL_WORKLOADS = ["mix", "random", "gcc"]
+FULL_RECORDS = 2500
+
+SMOKE_SCHEMES = ["Baseline", "IR-Stash", "IR-ORAM"]
+SMOKE_WORKLOADS = ["mix"]
+SMOKE_RECORDS = 800
+
+KERNEL_SCHEMES = ["Baseline", "IR-Alloc", "IR-Stash", "IR-ORAM"]
+FULL_KERNEL_PATHS = 6000
+SMOKE_KERNEL_PATHS = 1500
+
+BENCH_SEED = 7
+
+
+def _kernel_worker(spec: Tuple[str, int, int, int]) -> Dict[str, object]:
+    """One kernel measurement: a tight dummy-path loop on a fresh scheme."""
+    from ..core.schemes import build_scheme
+
+    scheme, levels, paths, seed = spec
+    config = SystemConfig.scaled(levels=levels)
+    controller = build_scheme(
+        scheme, config, rng=random.Random(seed)
+    ).controller
+    now = 0
+    start = time.perf_counter()
+    for _ in range(paths):
+        now = controller.dummy_path(now).finish_write
+    wall = time.perf_counter() - start
+    return {
+        "scheme": scheme,
+        "paths": paths,
+        "cycles": now,
+        "wall_s": round(wall, 4),
+        "paths_per_s": round(paths / wall, 1),
+    }
+
+
+def run_bench(
+    smoke: bool = False, jobs: int = 1, seed: int = BENCH_SEED
+) -> Dict[str, object]:
+    """Run the suite and return the JSON-ready report."""
+    schemes = SMOKE_SCHEMES if smoke else FULL_SCHEMES
+    workloads = SMOKE_WORKLOADS if smoke else FULL_WORKLOADS
+    records = SMOKE_RECORDS if smoke else FULL_RECORDS
+    kernel_paths = SMOKE_KERNEL_PATHS if smoke else FULL_KERNEL_PATHS
+
+    config = SystemConfig.scaled(levels=BENCH_LEVELS)
+    points = [
+        SimPoint(scheme, workload, records=records, seed=seed, config=config)
+        for scheme in schemes
+        for workload in workloads
+    ]
+    results, suite_wall = run_points(points, jobs=jobs)
+
+    point_rows = []
+    total_paths = 0.0
+    for item in results:
+        paths = item.result.total_paths()
+        total_paths += paths
+        point_rows.append(
+            {
+                "scheme": item.point.scheme,
+                "workload": item.point.workload,
+                "records": item.point.records,
+                "seed": item.point.seed,
+                "cycles": item.result.cycles,
+                "paths": int(paths),
+                "wall_s": round(item.wall_s, 4),
+                "paths_per_s": round(paths / max(item.wall_s, 1e-9), 1),
+            }
+        )
+
+    # The kernel section measures single-core throughput, so it always
+    # runs serially — parallel kernel runs would contend with each other
+    # and report degraded, machine-load-dependent numbers.
+    kernel_rows = [
+        _kernel_worker((scheme, BENCH_LEVELS, kernel_paths, seed))
+        for scheme in KERNEL_SCHEMES
+    ]
+
+    return {
+        "suite": "smoke" if smoke else "full",
+        "levels": BENCH_LEVELS,
+        "seed": seed,
+        "jobs": jobs,
+        "native_kernels": native_available(),
+        "suite_wall_s": round(suite_wall, 4),
+        "suite_paths_per_s": round(total_paths / max(suite_wall, 1e-9), 1),
+        "points": point_rows,
+        "kernel": kernel_rows,
+    }
+
+
+def check_report(
+    current: Dict[str, object],
+    reference: Dict[str, object],
+    max_regression: float = 2.0,
+) -> List[str]:
+    """Regression check: normalized throughput vs a reference report.
+
+    Compares paths-per-second figures (independent of how many records or
+    paths each suite ran), so a ``--smoke`` run can be checked against a
+    committed full-bench reference.  Returns failure descriptions; empty
+    means the check passed.
+    """
+    failures: List[str] = []
+    floor = 1.0 / max_regression
+
+    ref_suite = float(reference.get("suite_paths_per_s", 0.0))
+    cur_suite = float(current.get("suite_paths_per_s", 0.0))
+    if ref_suite > 0 and cur_suite < ref_suite * floor:
+        failures.append(
+            f"suite throughput {cur_suite:.0f} paths/s is more than "
+            f"{max_regression:.1f}x below reference {ref_suite:.0f}"
+        )
+
+    ref_kernel = {
+        row["scheme"]: float(row["paths_per_s"])
+        for row in reference.get("kernel", [])
+    }
+    for row in current.get("kernel", []):
+        scheme = row["scheme"]
+        ref = ref_kernel.get(scheme)
+        if ref and float(row["paths_per_s"]) < ref * floor:
+            failures.append(
+                f"kernel {scheme}: {row['paths_per_s']:.0f} paths/s is more "
+                f"than {max_regression:.1f}x below reference {ref:.0f}"
+            )
+    return failures
+
+
+def format_report(report: Dict[str, object]) -> str:
+    lines = [
+        f"bench suite={report['suite']} levels={report['levels']} "
+        f"jobs={report['jobs']} native={report['native_kernels']}",
+        f"suite wall {report['suite_wall_s']:.2f}s  "
+        f"({report['suite_paths_per_s']:.0f} paths/s aggregate)",
+        "",
+        f"{'scheme':<10} {'workload':<8} {'cycles':>13} {'paths':>7} "
+        f"{'wall s':>7} {'paths/s':>9}",
+    ]
+    for row in report["points"]:
+        lines.append(
+            f"{row['scheme']:<10} {row['workload']:<8} "
+            f"{row['cycles']:>13,} {row['paths']:>7} "
+            f"{row['wall_s']:>7.2f} {row['paths_per_s']:>9.0f}"
+        )
+    lines.append("")
+    lines.append(f"{'kernel (hot path alone)':<19} {'paths/s':>9}")
+    for row in report["kernel"]:
+        lines.append(f"{row['scheme']:<19} {row['paths_per_s']:>9.0f}")
+    return "\n".join(lines)
+
+
+def load_report(path: str) -> Dict[str, object]:
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def save_report(report: Dict[str, object], path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=1, sort_keys=True)
+        handle.write("\n")

@@ -1,0 +1,189 @@
+"""On-demand build and load of the optional C hot-path kernels.
+
+The simulator's innermost loops (batch DRAM timing, path read-and-clear)
+have bit-identical C implementations in ``_fastpath.c``.  This module
+compiles them with the system C compiler on first use, caches the shared
+object under ``~/.cache/repro-fastpath/`` keyed by source hash and Python
+ABI, and exposes the loaded module as :data:`fastpath`.
+
+Everything degrades gracefully: no compiler, a failed build, a failed
+self-test, or ``REPRO_FASTPATH=0`` in the environment all yield
+``fastpath = None`` and the simulator runs on its pure-Python fallbacks.
+No third-party packages are involved — only the system toolchain.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib.machinery
+import importlib.util
+import os
+import subprocess
+import sys
+import sysconfig
+from typing import Optional
+
+_MODULE_NAME = "_repro_fastpath"
+_SOURCE = os.path.join(os.path.dirname(os.path.abspath(__file__)), "_fastpath.c")
+
+
+def _cache_dir() -> str:
+    override = os.environ.get("REPRO_FASTPATH_CACHE")
+    if override:
+        return override
+    base = os.environ.get("XDG_CACHE_HOME") or os.path.join(
+        os.path.expanduser("~"), ".cache"
+    )
+    return os.path.join(base, "repro-fastpath")
+
+
+def _self_test(module) -> bool:
+    """Run the kernels on tiny inputs with known-good answers."""
+    # One bank, one channel, two accesses to the same fresh row:
+    # activate (t_rcd=3) + 2 bursts of 2, finish = 3 + 2 + 5 = 10 with
+    # cas_burst=5; second access is a row hit issuing at t=5, done at 10.
+    ready = [0]
+    open_row = [-1]
+    bus_free = [0]
+    finish, hits, conflicts = module.dram_service(
+        [0, 0, 7, 0, 0, 7], ready, open_row, bus_free, 0, 4, 3, 2, 5
+    )
+    if (finish, hits, conflicts) != (10, 1, 0):
+        return False
+    if ready != [7] or open_row != [7] or bus_free != [7]:
+        return False
+
+    slots = [3, -1, 9]
+    level_used = [0, 2]
+    removed = module.read_and_clear([(1, slots)], level_used, -1)
+    if not (
+        removed == [(3, 1), (9, 1)]
+        and slots == [-1, -1, -1]
+        and level_used == [0, 0]
+    ):
+        return False
+
+    # Stash bulk add: two fresh blocks, leaves 6 and 3, prefix shift 2;
+    # block 5 was read from level 0 (< top=1).
+    entries: dict = {}
+    seq: dict = {}
+    by_prefix: dict = {}
+    leaf_table = [0] * 10
+    leaf_table[5] = 6
+    leaf_table[9] = 3
+    next_seq, top_blocks = module.stash_bulk_add(
+        [(5, 0), (9, 1)], entries, seq, by_prefix, 2, 0, leaf_table, 1
+    )
+    if not (
+        (next_seq, top_blocks) == (2, [5])
+        and entries == {5: 6, 9: 3}
+        and seq == {5: 0, 9: 1}
+        and by_prefix == {1: {0: 5}, 0: {1: 9}}
+    ):
+        return False
+
+    # Pool grouping alone: same two blocks against target leaf 1 in a
+    # 3-level tree (prefix covers the whole 2-bit leaf).
+    pools = [[7], [], []]
+    module.path_pools_fill(1, {5: 1, 9: 3}, {1: {0: 5}, 3: {1: 9}},
+                           0, 2, 3, pools)
+    if pools != [[9], [], [5]]:
+        return False
+
+    # Write-phase placement: 3 levels, z=1 everywhere, target leaf 1.
+    # Block 5 (leaf 1) belongs at the bottom, block 9 (leaf 3) diverges
+    # at the root; both place and leave the stash empty.
+    entries = {5: 1, 9: 3}
+    seq = {5: 0, 9: 1}
+    by_prefix = {1: {0: 5}, 3: {1: 9}}
+    path_slots = [(0, [-1]), (1, [-1]), (2, [-1])]
+    level_used = [0, 0, 0]
+    placed_top = module.write_path_place(
+        1, entries, seq, by_prefix, 0, 2, path_slots, [1, 1, 1],
+        level_used, 3, 0, -1
+    )
+    if not (
+        placed_top == 0
+        and entries == {}
+        and seq == {}
+        and by_prefix == {}
+        and path_slots == [(0, [9]), (1, [-1]), (2, [5])]
+        and level_used == [1, 0, 1]
+    ):
+        return False
+
+    # Fused path->triples: one level, Z=2, offset 5 in a 4-block row at
+    # row base 3 -> both slots land in row 4 of channel 0, bank 0.
+    meta = [(0, 2, 0, 0, [5], 3, 1)]
+    triples = module.path_triples(0, meta, 4, 2, 2)
+    return triples == [0, 0, 4, 0, 0, 4]
+
+
+def _build(so_path: str) -> bool:
+    cc = (
+        os.environ.get("CC")
+        or sysconfig.get_config_var("CC")
+        or "cc"
+    ).split()
+    include = sysconfig.get_paths()["include"]
+    tmp_path = f"{so_path}.{os.getpid()}.tmp"
+    cmd = cc + [
+        "-O2",
+        "-shared",
+        "-fPIC",
+        f"-I{include}",
+        _SOURCE,
+        "-o",
+        tmp_path,
+    ]
+    try:
+        proc = subprocess.run(
+            cmd,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+            timeout=120,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return False
+    if proc.returncode != 0 or not os.path.exists(tmp_path):
+        return False
+    os.replace(tmp_path, so_path)
+    return True
+
+
+def _load() -> Optional[object]:
+    if os.environ.get("REPRO_FASTPATH", "1") == "0":
+        return None
+    try:
+        with open(_SOURCE, "rb") as handle:
+            source = handle.read()
+        tag = hashlib.sha256(
+            source + sys.implementation.cache_tag.encode()
+        ).hexdigest()[:16]
+        cache = _cache_dir()
+        os.makedirs(cache, exist_ok=True)
+        so_path = os.path.join(cache, f"{_MODULE_NAME}-{tag}.so")
+        if not os.path.exists(so_path) and not _build(so_path):
+            return None
+        loader = importlib.machinery.ExtensionFileLoader(_MODULE_NAME, so_path)
+        spec = importlib.util.spec_from_loader(
+            _MODULE_NAME, loader, origin=so_path
+        )
+        if spec is None:
+            return None
+        module = importlib.util.module_from_spec(spec)
+        loader.exec_module(module)
+        if not _self_test(module):
+            return None
+        return module
+    except Exception:
+        return None
+
+
+#: the loaded C kernel module, or None when unavailable
+fastpath = _load()
+
+
+def available() -> bool:
+    """Whether the C kernels are active in this process."""
+    return fastpath is not None

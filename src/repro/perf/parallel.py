@@ -1,0 +1,100 @@
+"""``ProcessPoolExecutor`` fan-out over independent simulation points.
+
+Every simulation point (scheme, workload, records, seed, config) is fully
+self-contained: the simulator derives all randomness from the point's own
+seed, so points can run in any process in any order and still produce the
+exact numbers a serial loop would.  :func:`fanout` exploits that — results
+come back in *input order* regardless of completion order, so callers are
+deterministic for any ``--jobs`` value.
+
+Workers are module-level functions (picklable); with ``jobs <= 1`` or a
+single point everything runs in-process, which keeps the serial path free
+of multiprocessing overhead and trivially debuggable.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
+
+from ..config import SystemConfig
+from ..sim.results import SimulationResult
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+@dataclass(frozen=True)
+class SimPoint:
+    """One independent (scheme, workload) simulation."""
+
+    scheme: str
+    workload: str
+    records: int = 2500
+    seed: int = 7
+    config: Optional[SystemConfig] = None
+
+    def label(self) -> str:
+        return f"{self.scheme}/{self.workload}"
+
+
+@dataclass
+class PointResult:
+    """A finished point: the simulation result plus its wall-clock cost."""
+
+    point: SimPoint
+    result: SimulationResult
+    wall_s: float
+
+
+def _run_point(point: SimPoint) -> PointResult:
+    # Imported lazily so worker processes pay the import once, not the
+    # parent at module load (runner imports the full scheme zoo).
+    from ..sim.runner import run_benchmark
+
+    start = time.perf_counter()
+    result = run_benchmark(
+        point.scheme,
+        point.workload,
+        point.config,
+        records=point.records,
+        seed=point.seed,
+    )
+    return PointResult(point, result, time.perf_counter() - start)
+
+
+def default_jobs() -> int:
+    """A sensible ``--jobs`` default: all cores."""
+    return max(1, os.cpu_count() or 1)
+
+
+def fanout_map(
+    worker: Callable[[T], R], items: Sequence[T], jobs: int = 1
+) -> List[R]:
+    """Map a picklable worker over items, preserving input order.
+
+    With ``jobs <= 1`` (or one item) this is a plain in-process loop.
+    """
+    items = list(items)
+    if jobs <= 1 or len(items) <= 1:
+        return [worker(item) for item in items]
+    workers = min(jobs, len(items))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(worker, items))
+
+
+def fanout(points: Sequence[SimPoint], jobs: int = 1) -> List[PointResult]:
+    """Run simulation points, parallel across processes, in input order."""
+    return fanout_map(_run_point, points, jobs)
+
+
+def run_points(
+    points: Sequence[SimPoint], jobs: int = 1
+) -> Tuple[List[PointResult], float]:
+    """:func:`fanout` plus the overall suite wall time."""
+    start = time.perf_counter()
+    results = fanout(points, jobs)
+    return results, time.perf_counter() - start

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import random
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional
 
 from ..config import ORAMConfig, SystemConfig
 from ..core.schemes import build_scheme
@@ -78,7 +78,7 @@ def random_trace_evaluator(
     base_config: SystemConfig,
     records: int = 1500,
     seed: int = 99,
-) -> "callable":
+) -> Callable[[ORAMConfig], Dict[str, float]]:
     """Evaluation callback for the IR-Alloc greedy Z-search.
 
     Returns a function mapping an :class:`ORAMConfig` candidate to

@@ -1,0 +1,111 @@
+"""Seed-sweep equivalence: optimized hot paths vs the reference write phase.
+
+The optimized write phase (leaf-prefix stash index + optional C kernels)
+must be *bit-identical* to the retained reference implementation
+(``PathORAMController._write_path_reference``): same cycles, same path
+counts, same counters, for any seed.  These tests run whole simulations
+both ways and compare everything.
+"""
+
+import random
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.core.schemes import build_scheme
+from repro.oram.controller import PathORAMController
+from repro.sim.runner import run_benchmark
+from repro.sim.simulator import Simulator
+from repro.traces.synthetic import random_trace
+
+SCHEMES = ["Baseline", "IR-Stash", "IR-ORAM"]
+SEEDS = [1, 2, 3, 4, 5]
+
+
+def _fingerprint(result):
+    return (
+        result.cycles,
+        tuple(sorted(result.path_counts.items())),
+        tuple(sorted(result.counters.items())),
+    )
+
+
+def _run(scheme, seed, reference=False, monkeypatch=None):
+    config = SystemConfig.tiny()
+    if reference:
+        monkeypatch.setattr(
+            PathORAMController,
+            "_write_path",
+            PathORAMController._write_path_reference,
+        )
+    return run_benchmark(scheme, "random", config, records=220, seed=seed)
+
+
+class TestWritePhaseEquivalence:
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_reference_identical(self, scheme, seed, monkeypatch):
+        optimized = _fingerprint(_run(scheme, seed))
+        reference = _fingerprint(
+            _run(scheme, seed, reference=True, monkeypatch=monkeypatch)
+        )
+        assert optimized == reference
+
+    def test_reference_is_actually_different_code(self):
+        assert (
+            PathORAMController._write_path
+            is not PathORAMController._write_path_reference
+        )
+
+
+class TestNativeFallbackEquivalence:
+    """The pure-Python fallbacks must match the C kernels exactly."""
+
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_fallback_identical(self, scheme, monkeypatch):
+        from repro.perf import native
+
+        if native.fastpath is None:
+            pytest.skip("native kernels unavailable; nothing to compare")
+        with_native = _fingerprint(_run(scheme, seed=11))
+
+        import repro.mem.dram as dram
+        import repro.oram.controller as controller
+        import repro.oram.stash as stash
+        import repro.oram.tree as tree
+
+        monkeypatch.setattr(dram, "_native", None)
+        monkeypatch.setattr(tree, "_native", None)
+        monkeypatch.setattr(stash, "_native", None)
+        monkeypatch.setattr(controller, "_fastpath", None)
+        without_native = _fingerprint(_run(scheme, seed=11))
+        assert with_native == without_native
+
+
+class TestEvictionPressureEquivalence:
+    """A tiny stash forces background evictions through both write phases."""
+
+    def test_under_eviction_pressure(self, monkeypatch):
+        from dataclasses import replace
+
+        config = SystemConfig.tiny()
+        config = config.with_oram(
+            replace(config.oram, eviction_threshold=8)
+        )
+
+        def run(reference):
+            if reference:
+                monkeypatch.setattr(
+                    PathORAMController,
+                    "_write_path",
+                    PathORAMController._write_path_reference,
+                )
+            components = build_scheme(
+                "Baseline", config, rng=random.Random(3)
+            )
+            trace = random_trace(200, config.oram.user_blocks, random.Random(3))
+            result = Simulator(components, trace).run()
+            monkeypatch.undo()
+            return _fingerprint(result)
+
+        assert run(reference=False) == run(reference=True)
