@@ -11,13 +11,13 @@ Run:  python examples/quickstart.py [workload] [records]
 
 import sys
 
-from repro import SystemConfig, run_benchmark
+from repro import RunSpec, run
 
 
 def main() -> None:
     workload = sys.argv[1] if len(sys.argv) > 1 else "mcf"
     records = int(sys.argv[2]) if len(sys.argv) > 2 else 4000
-    config = SystemConfig.scaled()
+    config = RunSpec().resolve_config()
     print(f"platform: L={config.oram.levels}, "
           f"{config.oram.user_blocks} user blocks, "
           f"PL={config.oram.blocks_per_path()} blocks/path, "
@@ -26,7 +26,9 @@ def main() -> None:
 
     results = {}
     for scheme in ("Baseline", "IR-ORAM"):
-        result = run_benchmark(scheme, workload, config, records=records)
+        result = run(RunSpec(
+            scheme=scheme, workload=workload, records=records,
+        )).result
         results[scheme] = result
         dist = result.path_type_distribution()
         print(f"{scheme}:")

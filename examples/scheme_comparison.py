@@ -12,14 +12,14 @@ Run:  python examples/scheme_comparison.py [workload] [records]
 
 import sys
 
-from repro import SystemConfig, run_benchmark
+from repro import RunSpec, run_many
 from repro.experiments.fig10_performance import SCHEME_ORDER
 
 
 def main() -> None:
     workload = sys.argv[1] if len(sys.argv) > 1 else "xz"
     records = int(sys.argv[2]) if len(sys.argv) > 2 else 5000
-    config = SystemConfig.scaled()
+    config = RunSpec().resolve_config()
     print(f"workload {workload}, {records} records, "
           f"L={config.oram.levels} tree\n")
 
@@ -28,9 +28,13 @@ def main() -> None:
     print(header)
     print("-" * len(header))
 
+    outs = run_many(
+        [RunSpec(scheme=scheme, workload=workload, records=records)
+         for scheme in SCHEME_ORDER]
+    )
     baseline_cycles = None
-    for scheme in SCHEME_ORDER:
-        result = run_benchmark(scheme, workload, config, records=records)
+    for scheme, out in zip(SCHEME_ORDER, outs):
+        result = out.result
         if baseline_cycles is None:
             baseline_cycles = result.cycles
         speedup = baseline_cycles / result.cycles

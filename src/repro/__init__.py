@@ -9,12 +9,20 @@ LLC-D).
 
 Quickstart::
 
-    from repro import SystemConfig, run_benchmark
+    from repro import RunSpec, run
 
-    result = run_benchmark("IR-ORAM", "gcc", SystemConfig.scaled())
-    print(result.cycles, result.path_type_distribution())
+    out = run(RunSpec(scheme="IR-ORAM", workload="gcc"))
+    print(out.cycles, out.result.path_type_distribution())
+
+The :mod:`repro.api` facade is the entry point for every kind of run
+(single runs, batches, sweeps, the bench suite); observability — event
+tracing, metrics export, cycle breakdowns — is switched on per run with
+:class:`repro.api.ObsOptions`.  The legacy ``run_trace``/``run_benchmark``
+helpers still work but emit :class:`DeprecationWarning`.
 """
 
+from . import api
+from .api import ObsOptions, RunResult, RunSpec, run, run_many
 from .config import (
     CacheConfig,
     CPUConfig,
@@ -56,6 +64,12 @@ from .traces.trace import Trace
 __version__ = "1.0.0"
 
 __all__ = [
+    "api",
+    "RunSpec",
+    "RunResult",
+    "ObsOptions",
+    "run",
+    "run_many",
     "SystemConfig",
     "ORAMConfig",
     "DRAMConfig",

@@ -6,34 +6,72 @@ run         Run one scheme on one workload and print the result summary.
 compare     Run several schemes on one workload, normalized to the first.
 experiments Regenerate the paper's tables/figures (wraps run_all).
 bench       Run the performance suite; write/check BENCH_*.json reports.
+inspect     Summarize a JSONL event trace written by ``--trace-out``.
 schemes     List available schemes.
 workloads   List available workloads.
 zsearch     Run the IR-Alloc greedy Z-search on a given tree geometry.
+
+Every simulating command shares the same platform flags (``--config``,
+``--levels``, ``--records``, ``--seed``, ``--jobs``) and builds its runs
+through :mod:`repro.api`.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
-from .config import SystemConfig
+from . import api
 from .core.ir_alloc import find_z_allocation
 from .core.schemes import SCHEMES
-from .sim.runner import random_trace_evaluator, run_benchmark
 from .traces.benchmarks import BENCHMARKS
 
 
-def _add_platform_args(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--levels", type=int, default=15,
-                        help="ORAM tree levels (default 15; paper uses 25)")
+def _add_platform_args(
+    parser: argparse.ArgumentParser, jobs: bool = True
+) -> None:
+    parser.add_argument("--config", choices=("scaled", "paper"),
+                        default="scaled",
+                        help="named platform (default scaled)")
+    parser.add_argument("--levels", type=int, default=None,
+                        help="ORAM tree levels (scaled default 15; "
+                             "paper uses 25)")
     parser.add_argument("--records", type=int, default=5000,
                         help="trace records to simulate")
-    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--seed", type=int, default=7,
+                        help="simulation seed")
+    if jobs:
+        parser.add_argument("--jobs", type=int, default=1,
+                            help="independent runs in parallel")
 
 
-def _platform(args: argparse.Namespace) -> SystemConfig:
-    return SystemConfig.scaled(levels=args.levels)
+def _add_obs_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trace-out", default=None, metavar="FILE",
+                        help="stream the JSONL event trace here")
+    parser.add_argument("--metrics-out", default=None, metavar="FILE",
+                        help="write the final stats registry as JSON here")
+    parser.add_argument("--progress-every", type=int, default=0,
+                        metavar="N",
+                        help="emit a progress snapshot every N paths "
+                             "(requires tracing)")
+
+
+def _spec(args: argparse.Namespace, scheme: str) -> api.RunSpec:
+    return api.RunSpec(
+        scheme=scheme,
+        workload=args.workload,
+        records=args.records,
+        seed=args.seed,
+        config_name=args.config,
+        levels=args.levels,
+        obs=api.ObsOptions(
+            trace_out=getattr(args, "trace_out", None),
+            metrics_out=getattr(args, "metrics_out", None),
+            progress_every=getattr(args, "progress_every", 0),
+        ),
+    )
 
 
 def _print_result(name: str, result, baseline=None) -> None:
@@ -50,32 +88,43 @@ def _print_result(name: str, result, baseline=None) -> None:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
-    config = _platform(args)
-    result = run_benchmark(
-        args.scheme, args.workload, config, records=args.records,
-        seed=args.seed,
-    )
-    _print_result(f"{args.scheme} on {args.workload}", result)
+    out = api.run(_spec(args, args.scheme))
+    _print_result(f"{args.scheme} on {args.workload}", out.result)
+    if out.breakdown is not None:
+        print(f"{'':<26} busy: " + ", ".join(
+            f"{key}={value:.1%}"
+            for key, value in out.breakdown.fractions().items()
+            if value > 0.0005
+        ))
+    if args.trace_out:
+        print(f"trace written to {args.trace_out}")
+    if args.metrics_out:
+        print(f"metrics written to {args.metrics_out}")
     return 0
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
-    config = _platform(args)
-    baseline = None
-    for scheme in args.schemes:
-        result = run_benchmark(
-            scheme, args.workload, config, records=args.records,
-            seed=args.seed,
+    specs = [_spec(args, scheme) for scheme in args.schemes]
+    outs = api.run_many(specs, jobs=args.jobs)
+    baseline = outs[0].result
+    for scheme, out in zip(args.schemes, outs):
+        _print_result(
+            scheme, out.result, None if out.result is baseline else baseline
         )
-        _print_result(scheme, result, baseline)
-        if baseline is None:
-            baseline = result
     return 0
 
 
 def cmd_experiments(args: argparse.Namespace) -> int:
     from .experiments import run_all
 
+    # The harness reads its knobs from the environment so they survive
+    # the trip into --jobs worker processes.
+    if args.records is not None:
+        os.environ["REPRO_RECORDS"] = str(args.records)
+    if args.seed is not None:
+        os.environ["REPRO_SEED"] = str(args.seed)
+    if args.config is not None:
+        os.environ["REPRO_CONFIG"] = args.config
     run_all.main(args.ids, jobs=args.jobs)
     return 0
 
@@ -91,8 +140,13 @@ def cmd_bench(args: argparse.Namespace) -> int:
         except OSError as exc:
             print(f"cannot read reference report: {exc}", file=sys.stderr)
             return 1
-    report = bench.run_bench(smoke=args.smoke, jobs=args.jobs)
+    report = bench.run_bench(
+        smoke=args.smoke, jobs=args.jobs, seed=args.seed,
+        trace_out=args.trace_out,
+    )
     print(bench.format_report(report))
+    if args.trace_out:
+        print(f"\nper-point traces written under {args.trace_out}/")
     if args.out:
         bench.save_report(report, args.out)
         print(f"\nreport written to {args.out}")
@@ -108,6 +162,19 @@ def cmd_bench(args: argparse.Namespace) -> int:
             f"\ncheck vs {args.check}: OK "
             f"(max regression {args.max_regression:.1f}x)"
         )
+    return 0
+
+
+def cmd_inspect(args: argparse.Namespace) -> int:
+    from .obs.inspect import format_summary, summarize_trace
+
+    import json
+
+    summary = summarize_trace(args.trace)
+    if args.json:
+        print(json.dumps(summary, indent=1, sort_keys=True))
+    else:
+        print(format_summary(summary))
     return 0
 
 
@@ -127,7 +194,11 @@ def cmd_workloads(_args: argparse.Namespace) -> int:
 
 
 def cmd_zsearch(args: argparse.Namespace) -> int:
-    config = _platform(args)
+    from .sim.runner import random_trace_evaluator
+
+    config = api.RunSpec(
+        config_name=args.config, levels=args.levels
+    ).resolve_config()
     evaluate = random_trace_evaluator(config, records=args.records,
                                       seed=args.seed)
     print(f"searching Z allocation for L={config.oram.levels} "
@@ -153,7 +224,8 @@ def build_parser() -> argparse.ArgumentParser:
     run_p = sub.add_parser("run", help="run one scheme on one workload")
     run_p.add_argument("scheme", choices=sorted(SCHEMES))
     run_p.add_argument("workload")
-    _add_platform_args(run_p)
+    _add_platform_args(run_p, jobs=False)
+    _add_obs_args(run_p)
     run_p.set_defaults(func=cmd_run)
 
     cmp_p = sub.add_parser("compare", help="compare schemes on a workload")
@@ -169,6 +241,13 @@ def build_parser() -> argparse.ArgumentParser:
     exp_p.add_argument("ids", nargs="*", help='e.g. "Fig. 10" "Table II"')
     exp_p.add_argument("--jobs", type=int, default=1,
                        help="experiment regenerators run in parallel")
+    exp_p.add_argument("--records", type=int, default=None,
+                       help="trace records per workload (REPRO_RECORDS)")
+    exp_p.add_argument("--seed", type=int, default=None,
+                       help="base seed of the matrix (REPRO_SEED)")
+    exp_p.add_argument("--config", choices=("scaled", "paper"),
+                       default=None,
+                       help="named platform (REPRO_CONFIG)")
     exp_p.set_defaults(func=cmd_experiments)
 
     bench_p = sub.add_parser(
@@ -178,13 +257,26 @@ def build_parser() -> argparse.ArgumentParser:
                          help="small fast variant (used by CI)")
     bench_p.add_argument("--jobs", type=int, default=1,
                          help="simulation points run in parallel")
+    bench_p.add_argument("--seed", type=int, default=7,
+                         help="simulation seed for every point")
     bench_p.add_argument("--out", default=None,
                          help="write the JSON report here")
     bench_p.add_argument("--check", default=None,
                          help="reference BENCH_*.json to compare against")
     bench_p.add_argument("--max-regression", type=float, default=2.0,
                          help="allowed throughput regression factor")
+    bench_p.add_argument("--trace-out", default=None, metavar="DIR",
+                         help="write per-point JSONL traces under this "
+                              "directory")
     bench_p.set_defaults(func=cmd_bench)
+
+    ins_p = sub.add_parser(
+        "inspect", help="summarize a JSONL event trace"
+    )
+    ins_p.add_argument("trace", help="trace file written by --trace-out")
+    ins_p.add_argument("--json", action="store_true",
+                       help="print the raw summary dictionary as JSON")
+    ins_p.set_defaults(func=cmd_inspect)
 
     sub.add_parser("schemes", help="list schemes").set_defaults(
         func=cmd_schemes
@@ -194,7 +286,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     zs_p = sub.add_parser("zsearch", help="greedy IR-Alloc Z-search")
-    _add_platform_args(zs_p)
+    _add_platform_args(zs_p, jobs=False)
     zs_p.add_argument("--max-space-reduction", type=float, default=0.03)
     zs_p.add_argument("--max-eviction-increase", type=float, default=0.15)
     zs_p.set_defaults(func=cmd_zsearch)
@@ -204,7 +296,11 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; that is not an error.
+        return 0
 
 
 if __name__ == "__main__":

@@ -1,0 +1,284 @@
+"""The single run facade: build a :class:`RunSpec`, get a :class:`RunResult`.
+
+Every in-repo entry point — the CLI, the experiment harness, the bench
+suite, the sweep engine, and the examples — constructs simulations through
+this module instead of wiring components by hand.  The legacy helpers
+``repro.sim.runner.run_trace`` / ``run_benchmark`` still work but are
+deprecation shims over :func:`run`.
+
+Quickstart::
+
+    from repro.api import RunSpec, ObsOptions, run
+
+    out = run(RunSpec(scheme="IR-ORAM", workload="gcc", records=4000))
+    print(out.cycles, out.result.breakdown.fractions())
+
+    traced = run(RunSpec(
+        scheme="Baseline", workload="mix",
+        obs=ObsOptions(trace_out="trace.jsonl", metrics_out="metrics.json"),
+    ))
+
+Observability (``obs=``) never changes simulation results: traced runs are
+cycle- and counter-bit-identical to untraced ones (see
+:mod:`repro.obs.tracer`).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from .config import SystemConfig
+from .errors import ConfigError
+from .obs import (
+    CallbackSink,
+    JsonlSink,
+    MemorySink,
+    TraceEvent,
+    Tracer,
+)
+from .sim.results import SimulationResult
+from .stats import Stats
+from .traces.trace import Trace
+
+#: named platform configurations accepted by :attr:`RunSpec.config_name`
+CONFIG_NAMES = ("scaled", "paper", "tiny")
+
+
+@dataclass(frozen=True)
+class ObsOptions:
+    """What to observe during a run (all off by default).
+
+    ``trace_out`` streams every event to a JSONL file; ``ring_size`` keeps
+    the most recent events in memory (:meth:`RunResult.events`);
+    ``callback`` receives every event live; ``progress_every`` emits a
+    progress snapshot every N issued paths; ``metrics_out`` writes the
+    final :class:`~repro.stats.Stats` registry as JSON.
+    """
+
+    trace_out: Optional[str] = None
+    metrics_out: Optional[str] = None
+    ring_size: int = 0
+    progress_every: int = 0
+    callback: Optional[Callable[[TraceEvent], None]] = None
+
+    @property
+    def tracing(self) -> bool:
+        """Does this configuration need a live event tracer?"""
+        return bool(
+            self.trace_out
+            or self.ring_size
+            or self.progress_every
+            or self.callback is not None
+        )
+
+    @property
+    def enabled(self) -> bool:
+        return self.tracing or self.metrics_out is not None
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One fully specified simulation.
+
+    ``config`` wins when given; otherwise ``config_name`` (+ ``levels``
+    for the scaled platform) selects a named platform.  ``trace`` runs a
+    pre-built :class:`~repro.traces.trace.Trace` instead of generating the
+    named ``workload``.  Specs are frozen, comparable, and picklable (with
+    the exception of ``obs.callback``), so they fan out across worker
+    processes unchanged.
+    """
+
+    scheme: str = "Baseline"
+    workload: str = "mix"
+    records: int = 4000
+    seed: int = 7
+    config: Optional[SystemConfig] = None
+    config_name: str = "scaled"
+    levels: Optional[int] = None
+    jobs: int = 1
+    utilization_snapshots: int = 0
+    trace: Optional[Trace] = None
+    obs: ObsOptions = ObsOptions()
+
+    def resolve_config(self) -> SystemConfig:
+        """The platform this spec runs on."""
+        if self.config is not None:
+            return self.config
+        if self.config_name == "scaled":
+            if self.levels is not None:
+                return SystemConfig.scaled(levels=self.levels)
+            return SystemConfig.scaled()
+        if self.config_name == "paper":
+            return SystemConfig.paper()
+        if self.config_name == "tiny":
+            if self.levels is not None:
+                return SystemConfig.tiny(levels=self.levels)
+            return SystemConfig.tiny()
+        raise ConfigError(
+            f"unknown config name {self.config_name!r}; "
+            f"options: {CONFIG_NAMES}"
+        )
+
+    def with_obs(self, obs: ObsOptions) -> "RunSpec":
+        return replace(self, obs=obs)
+
+
+@dataclass
+class RunResult:
+    """A finished run: the simulation result plus everything observed."""
+
+    spec: RunSpec
+    result: SimulationResult
+    stats: Stats
+    wall_s: float
+
+    # -- convenience views -------------------------------------------------
+    @property
+    def cycles(self) -> int:
+        return self.result.cycles
+
+    @property
+    def breakdown(self):
+        return self.result.breakdown
+
+    @property
+    def counters(self) -> Dict[str, float]:
+        return self.result.counters
+
+    def events(self) -> List[TraceEvent]:
+        """Events retained by the in-memory ring (``obs.ring_size``)."""
+        tracer = self.stats.tracer
+        return tracer.memory_events() if tracer is not None else []
+
+    def metrics_json(self, indent: Optional[int] = None) -> str:
+        return self.stats.to_json(indent=indent)
+
+    def prometheus_text(self, prefix: str = "repro") -> str:
+        return self.stats.to_prometheus_text(prefix=prefix)
+
+
+def _build_tracer(obs: ObsOptions) -> Optional[Tracer]:
+    if not obs.tracing:
+        return None
+    tracer = Tracer(progress_every=obs.progress_every)
+    if obs.trace_out:
+        tracer.add_sink(JsonlSink(obs.trace_out))
+    if obs.ring_size:
+        tracer.add_sink(MemorySink(capacity=obs.ring_size))
+    if obs.callback is not None:
+        tracer.add_sink(CallbackSink(obs.callback))
+    return tracer
+
+
+def run(spec: RunSpec) -> RunResult:
+    """Run one :class:`RunSpec` to completion."""
+    # Imported here: the scheme zoo and trace generators are heavy, and
+    # several modules import repro.api at module load.
+    from .core.schemes import build_scheme
+    from .sim.runner import make_workload
+    from .sim.simulator import Simulator
+
+    start = time.perf_counter()
+    config = spec.resolve_config()
+    trace = (
+        spec.trace
+        if spec.trace is not None
+        else make_workload(spec.workload, config, spec.records, spec.seed)
+    )
+    stats = Stats()
+    tracer = _build_tracer(spec.obs)
+    if tracer is not None:
+        stats.tracer = tracer
+    components = build_scheme(spec.scheme, config, stats, random.Random(spec.seed))
+    try:
+        result = Simulator(components, trace).run(
+            utilization_snapshots=spec.utilization_snapshots
+        )
+    finally:
+        if tracer is not None:
+            tracer.close()
+    if spec.obs.metrics_out:
+        with open(spec.obs.metrics_out, "w", encoding="utf-8") as handle:
+            handle.write(stats.to_json(indent=1))
+            handle.write("\n")
+    return RunResult(spec, result, stats, time.perf_counter() - start)
+
+
+def run_many(
+    specs: Sequence[RunSpec], jobs: Optional[int] = None
+) -> List[RunResult]:
+    """Run independent specs, fanned out over worker processes.
+
+    ``jobs`` defaults to the maximum ``spec.jobs`` across the batch.
+    Results come back in input order and are bit-identical to a serial
+    loop (each spec carries its own seed).  Specs with an
+    ``obs.callback`` cannot cross process boundaries; run those serially.
+    With ``jobs > 1`` in-memory ring events are dropped on the way back
+    (tracers do not pickle); use ``trace_out`` files instead.
+    """
+    from .perf.parallel import fanout_map
+
+    specs = list(specs)
+    if jobs is None:
+        jobs = max((spec.jobs for spec in specs), default=1)
+    return fanout_map(run, specs, jobs=jobs)
+
+
+def sweep(
+    parameter: str,
+    values: Sequence[Any],
+    scheme: str = "Baseline",
+    workload: str = "mix",
+    config: Optional[SystemConfig] = None,
+    records: int = 3000,
+    seed: int = 7,
+    jobs: int = 1,
+):
+    """Sweep one platform knob; see :func:`repro.analysis.sweep.sweep_parameter`."""
+    from .analysis.sweep import sweep_parameter
+
+    return sweep_parameter(
+        parameter,
+        values,
+        scheme=scheme,
+        workload=workload,
+        config=config,
+        records=records,
+        seed=seed,
+        jobs=jobs,
+    )
+
+
+def bench(
+    smoke: bool = False,
+    jobs: int = 1,
+    seed: int = 7,
+    trace_out: Optional[str] = None,
+) -> Dict[str, object]:
+    """Run the performance suite; see :func:`repro.perf.bench.run_bench`."""
+    from .perf.bench import run_bench
+
+    return run_bench(smoke=smoke, jobs=jobs, seed=seed, trace_out=trace_out)
+
+
+def summarize_trace(path: str) -> Dict[str, Any]:
+    """Aggregate a JSONL trace file (``repro inspect``)."""
+    from .obs.inspect import summarize_trace as _summarize
+
+    return _summarize(path)
+
+
+__all__ = [
+    "CONFIG_NAMES",
+    "ObsOptions",
+    "RunSpec",
+    "RunResult",
+    "run",
+    "run_many",
+    "sweep",
+    "bench",
+    "summarize_trace",
+]

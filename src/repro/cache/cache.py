@@ -12,6 +12,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
+from .. import stats_keys as sk
 from ..config import CacheConfig
 from ..stats import Stats
 
@@ -63,9 +64,9 @@ class SetAssocCache:
             lines.move_to_end(block)
             if is_write:
                 lines[block] = True
-            self.stats.inc(f"{self.name}.hits")
+            self.stats.inc(sk.cache_key(self.name, "hits"))
             return True, None
-        self.stats.inc(f"{self.name}.misses")
+        self.stats.inc(sk.cache_key(self.name, "misses"))
         evicted = self._fill(lines, block, is_write)
         return False, evicted
 
@@ -76,9 +77,9 @@ class SetAssocCache:
         if len(lines) >= self.config.ways:
             victim, victim_dirty = lines.popitem(last=False)
             evicted = EvictedLine(victim, victim_dirty)
-            self.stats.inc(f"{self.name}.evictions")
+            self.stats.inc(sk.cache_key(self.name, "evictions"))
             if victim_dirty:
-                self.stats.inc(f"{self.name}.dirty_evictions")
+                self.stats.inc(sk.cache_key(self.name, "dirty_evictions"))
         lines[block] = dirty
         return evicted
 

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Optional, Tuple
 
+from .. import stats_keys as sk
 from ..config import CacheConfig
 from ..stats import Stats
 from .cache import EvictedLine, SetAssocCache
@@ -47,14 +48,14 @@ class LastLevelCache(SetAssocCache):
             self._scan_set = (self._scan_set + 1) % sets
             lru = self.lru_line(index)
             if lru is not None and lru[1]:
-                self.stats.inc("llc.dwb_candidates_found")
+                self.stats.inc(sk.LLC_DWB_CANDIDATES_FOUND)
                 return index, lru[0]
         if budget >= sets:
             # A full fruitless sweep pauses the search and restarts it from
             # a deterministic pseudo-random set (reproducible simulation).
             self._paused_until = now + self.SEARCH_PAUSE
             self._scan_set = (now * 2654435761) % sets
-            self.stats.inc("llc.dwb_search_pauses")
+            self.stats.inc(sk.LLC_DWB_SEARCH_PAUSES)
         return None
 
     def evict_for_writeback(self, block: int) -> Optional[EvictedLine]:

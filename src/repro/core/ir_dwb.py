@@ -24,6 +24,7 @@ from __future__ import annotations
 from typing import Optional, Tuple
 
 from ..cache.llc import LastLevelCache
+from .. import stats_keys as sk
 from ..oram.controller import PathORAMController, SlotResult
 from ..oram.types import PathType
 from ..stats import Stats
@@ -58,8 +59,8 @@ class DWBEngine:
         block = candidate[1]
         chain = self.controller._translation_chain(block)
         self.stage = 1 + len(chain)
-        self.stats.inc("dwb.flushes_started")
-        self.stats.bump("dwb.start_stage", self.stage)
+        self.stats.inc(sk.DWB_FLUSHES_STARTED)
+        self.stats.bump(sk.DWB_START_STAGE, self.stage)
         return self._advance(now)
 
     # ------------------------------------------------------------------
@@ -68,7 +69,7 @@ class DWBEngine:
         return self.llc.is_lru(block) and self.llc.is_dirty(block)
 
     def _abort(self) -> None:
-        self.stats.inc("dwb.aborts")
+        self.stats.inc(sk.DWB_ABORTS)
         self.ptr = None
         self.stage = 0
 
@@ -80,12 +81,12 @@ class DWBEngine:
         if chain:
             result = controller.fetch_posmap_block(chain[0], now)
             self.stage = 1 + len(controller._translation_chain(block))
-            self.stats.inc("dwb.posmap_paths")
+            self.stats.inc(sk.DWB_POSMAP_PATHS)
             return result
         # Stage 1: write the dirty block itself through a full data access.
         result = controller.full_access(block, PathType.DATA, now)
         self.llc.mark_clean(block)
         self.ptr = None
         self.stage = 0
-        self.stats.inc("dwb.writebacks_completed")
+        self.stats.inc(sk.DWB_WRITEBACKS_COMPLETED)
         return result

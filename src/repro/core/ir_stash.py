@@ -24,6 +24,7 @@ import hashlib
 from functools import lru_cache
 from typing import Dict, Optional
 
+from .. import stats_keys as sk
 from ..config import ORAMConfig
 from ..errors import ProtocolError
 from ..oram.treetop import TreeTopCache
@@ -68,7 +69,7 @@ class SStash(TreeTopCache):
 
     def lookup_by_address(self, block: int) -> bool:
         hit = block in self._resident
-        self.stats.inc("sstash.probe_hits" if hit else "sstash.probe_misses")
+        self.stats.inc(sk.SSTASH_PROBE_HITS if hit else sk.SSTASH_PROBE_MISSES)
         return hit
 
     def resident_count(self) -> int:
@@ -87,7 +88,7 @@ class SStash(TreeTopCache):
             raise ProtocolError(f"S-Stash set {index} overfull")
         self._set_count[index] = count + 1
         self._resident[block] = index
-        self.stats.inc("sstash.placed")
+        self.stats.inc(sk.SSTASH_PLACED)
 
     def on_remove(self, block: int) -> None:
         index = self._resident.pop(block, None)
@@ -96,7 +97,7 @@ class SStash(TreeTopCache):
         self._set_count[index] -= 1
         if self._set_count[index] == 0:
             del self._set_count[index]
-        self.stats.inc("sstash.removed")
+        self.stats.inc(sk.SSTASH_REMOVED)
 
     # -- overheads (Section VI-F) ------------------------------------------------
     def tt_table_bits(self) -> int:

@@ -24,6 +24,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Deque, Dict, Optional, Tuple
 
+from .. import stats_keys as sk
 from ..config import CPUConfig
 from ..stats import Stats
 from ..traces.trace import Trace
@@ -98,7 +99,7 @@ class Processor:
             blocker = self._blocking_queue()
             if blocker is not None:
                 if not self._unblock(blocker):
-                    self.stats.inc("cpu.block_events")
+                    self.stats.inc(sk.CPU_BLOCK_EVENTS)
                     return
                 continue
             if self.cpu_time > now:
@@ -113,10 +114,10 @@ class Processor:
                 continue
             if is_write:
                 self._writes.append((self.cpu_time, token))
-                self.stats.inc("cpu.write_misses_issued")
+                self.stats.inc(sk.CPU_WRITE_MISSES_ISSUED)
             else:
                 self._reads.append((self.cpu_time, token))
-                self.stats.inc("cpu.read_misses_issued")
+                self.stats.inc(sk.CPU_READ_MISSES_ISSUED)
 
     def _drain(self) -> None:
         """Past the last record: retire whatever has completed already."""
@@ -164,7 +165,7 @@ class Processor:
         completion = self._completed.pop(token)
         queue.popleft()
         if completion > self.cpu_time:
-            self.stats.inc("cpu.stall_cycles", completion - self.cpu_time)
+            self.stats.inc(sk.CPU_STALL_CYCLES, completion - self.cpu_time)
             self.cpu_time = completion
         return True
 

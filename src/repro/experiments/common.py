@@ -6,10 +6,12 @@ them.  Simulation runs are memoized per (scheme, workload, records, config)
 because several figures slice the same underlying matrix (Fig. 10/11/14/15
 all share runs).
 
-Environment knobs:
+Environment knobs (env vars so they reach ``--jobs`` worker processes):
 
 * ``REPRO_RECORDS``  — trace length per workload (default 5000);
-* ``REPRO_WORKLOADS`` — comma-separated subset of workloads to run.
+* ``REPRO_WORKLOADS`` — comma-separated subset of workloads to run;
+* ``REPRO_CONFIG``   — named platform (``scaled``/``paper``, default scaled);
+* ``REPRO_SEED``     — base seed of the simulation matrix (default 7).
 """
 
 from __future__ import annotations
@@ -18,9 +20,9 @@ import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from .. import api
 from ..config import SystemConfig
 from ..sim.results import SimulationResult
-from ..sim.runner import run_benchmark
 from ..traces.benchmarks import BENCHMARKS
 
 #: paper order of evaluated workloads, plus the mix bar of Fig. 10
@@ -42,8 +44,15 @@ def experiment_workloads(
 
 
 def experiment_config() -> SystemConfig:
-    """The scaled default platform every experiment runs on."""
-    return SystemConfig.scaled()
+    """The platform every experiment runs on (``REPRO_CONFIG`` selects)."""
+    return api.RunSpec(
+        config_name=os.environ.get("REPRO_CONFIG", "scaled")
+    ).resolve_config()
+
+
+def experiment_seed(default: int = 7) -> int:
+    """Base seed of the simulation matrix (``REPRO_SEED`` overrides)."""
+    return int(os.environ.get("REPRO_SEED", default))
 
 
 @dataclass
@@ -105,22 +114,25 @@ def cached_run(
     workload: str,
     config: Optional[SystemConfig] = None,
     records: Optional[int] = None,
-    seed: int = 7,
+    seed: Optional[int] = None,
     utilization_snapshots: int = 0,
 ) -> SimulationResult:
     """Run (or reuse) one simulation of the experiment matrix."""
     config = config if config is not None else experiment_config()
     records = records if records is not None else experiment_records()
+    seed = seed if seed is not None else experiment_seed()
     key = (scheme, workload, records, seed, utilization_snapshots, repr(config))
     if key not in _CACHE:
-        _CACHE[key] = run_benchmark(
-            scheme,
-            workload,
-            config,
-            records=records,
-            seed=seed,
-            utilization_snapshots=utilization_snapshots,
-        )
+        _CACHE[key] = api.run(
+            api.RunSpec(
+                scheme=scheme,
+                workload=workload,
+                records=records,
+                seed=seed,
+                config=config,
+                utilization_snapshots=utilization_snapshots,
+            )
+        ).result
     return _CACHE[key]
 
 

@@ -16,8 +16,8 @@ import random
 from dataclasses import replace
 from typing import Optional
 
+from .. import api
 from ..config import CacheConfig, SystemConfig
-from ..sim.runner import run_trace
 from ..traces.synthetic import zipf_trace
 from .common import ExperimentResult, experiment_records
 
@@ -42,7 +42,10 @@ def run(
         gap=60,
         write_fraction=0.5,
     )
-    result = run_trace("Baseline", trace, config)
+    result = api.run(api.RunSpec(
+        scheme="Baseline", workload=trace.name, seed=1,
+        config=config, trace=trace,
+    )).result
 
     hits = result.hit_levels
     total = max(sum(hits.values()), 1.0)

@@ -13,8 +13,8 @@ import random
 import statistics
 from typing import List, Optional, Sequence
 
+from .. import api
 from ..config import SystemConfig
-from ..sim.runner import run_trace
 from ..traces.synthetic import random_trace
 from .common import ExperimentResult, experiment_records
 
@@ -35,8 +35,14 @@ def run(
                 records, config.oram.user_blocks, rng, gap=30,
                 name=f"random-{seed}",
             )
-            baseline = run_trace("Baseline", trace, config, seed=seed)
-            ir_alloc = run_trace("IR-Alloc", trace, config, seed=seed)
+            baseline = api.run(api.RunSpec(
+                scheme="Baseline", workload=trace.name, seed=seed,
+                config=config, trace=trace,
+            )).result
+            ir_alloc = api.run(api.RunSpec(
+                scheme="IR-Alloc", workload=trace.name, seed=seed,
+                config=config, trace=trace,
+            )).result
             speedups.append(ir_alloc.speedup_over(baseline))
         mean = statistics.mean(speedups)
         stdev = statistics.pstdev(speedups)

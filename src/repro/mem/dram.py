@@ -25,7 +25,9 @@ from __future__ import annotations
 
 from typing import Iterable, List, Optional, Tuple
 
+from .. import stats_keys as sk
 from ..config import DRAMConfig
+from ..obs import events as ev
 from ..perf.native import fastpath as _native
 from ..stats import Stats
 from .request import MemAccess
@@ -137,11 +139,23 @@ class DRAMModel:
             finish, row_hits, conflicts = self._service_py(triples, now_dram)
         count = len(triples) // 3
         counters = self.stats.counters
-        counters["dram.accesses"] += count
-        counters["dram.row_hits"] += row_hits
-        counters["dram.row_conflicts"] += conflicts
-        counters["dram.writes" if is_write else "dram.reads"] += count
-        return finish * cfg.cpu_cycles_per_dram_cycle
+        counters[sk.DRAM_ACCESSES] += count
+        counters[sk.DRAM_ROW_HITS] += row_hits
+        counters[sk.DRAM_ROW_CONFLICTS] += conflicts
+        counters[sk.DRAM_WRITES if is_write else sk.DRAM_READS] += count
+        finish_cpu = finish * cfg.cpu_cycles_per_dram_cycle
+        tracer = self.stats.tracer
+        if tracer is not None:
+            tracer.emit(
+                ev.DRAM_BATCH,
+                start_cycle,
+                accesses=count,
+                row_hits=row_hits,
+                row_conflicts=conflicts,
+                write=is_write,
+                finish=finish_cpu,
+            )
+        return finish_cpu
 
     def _service_py(
         self, triples: List[int], now_dram: int
@@ -193,8 +207,8 @@ class DRAMModel:
 
     # -- inspection -----------------------------------------------------------
     def row_hit_rate(self) -> float:
-        hits = self.stats.get("dram.row_hits")
-        total = self.stats.get("dram.accesses")
+        hits = self.stats.get(sk.DRAM_ROW_HITS)
+        total = self.stats.get(sk.DRAM_ACCESSES)
         return hits / total if total else 0.0
 
     def reset_state(self) -> None:

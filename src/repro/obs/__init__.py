@@ -1,0 +1,34 @@
+"""Structured observability: tracing, cycle attribution, metrics export.
+
+See ``docs/observability.md`` for the event schema and usage; the
+high-level entry point is :mod:`repro.api`, whose
+:class:`~repro.api.ObsOptions` wires this package into a run.
+"""
+
+from . import events
+from .breakdown import CycleAttribution, CycleBreakdown
+from .events import ALL_KINDS, TraceEvent
+from .exporters import metric_name, to_json, to_json_dict, to_prometheus_text
+from .inspect import format_summary, summarize_trace
+from .sinks import CallbackSink, JsonlSink, MemorySink, TraceSink, read_jsonl
+from .tracer import Tracer
+
+__all__ = [
+    "events",
+    "TraceEvent",
+    "ALL_KINDS",
+    "Tracer",
+    "TraceSink",
+    "MemorySink",
+    "JsonlSink",
+    "CallbackSink",
+    "read_jsonl",
+    "CycleBreakdown",
+    "CycleAttribution",
+    "to_prometheus_text",
+    "to_json",
+    "to_json_dict",
+    "metric_name",
+    "summarize_trace",
+    "format_summary",
+]

@@ -1,0 +1,161 @@
+"""Per-component cycle attribution for one simulation run.
+
+The simulator's timeline is a sequence of non-overlapping path-access
+intervals (the controller issues at most one path per slot and the clock
+always advances past the previous write phase).  That makes an exact
+wall-clock decomposition possible:
+
+* every issued path contributes its DRAM read phase and write phase,
+  bucketed by path type (demand data, PosMap recursion, dummy slots,
+  background eviction, IR-DWB conversions);
+* the window after a path's write phase during which the timing-channel
+  defense forbids the next issue slot counts as a *timing stall*;
+* everything else — the processor computing, the request queue empty —
+  is *idle* time from the memory system's point of view.
+
+All components are clipped to the run's reported cycle count (trailing
+eviction or dummy paths can outlive the last demand completion that
+defines ``SimulationResult.cycles``), so the invariant
+
+    sum(breakdown.components().values()) == breakdown.total == result.cycles
+
+holds for every scheme; the test suite asserts it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..oram.types import PathType
+
+#: path types folded into the "dummy" bucket (timing-defense filler slots)
+_DUMMY_TYPES = (PathType.DUMMY.value, PathType.DWB.value)
+_POSMAP_TYPES = (PathType.POS1.value, PathType.POS2.value)
+
+
+@dataclass
+class CycleBreakdown:
+    """Where one run's cycles went.  All values are CPU cycles."""
+
+    total: int = 0
+    #: DRAM read-phase cycles of demand-data paths
+    data_read: int = 0
+    #: DRAM write-phase cycles of demand-data paths
+    data_write: int = 0
+    #: read + write cycles of PosMap recursion paths (PT_p)
+    posmap_read: int = 0
+    posmap_write: int = 0
+    #: read + write cycles of dummy slots (PT_m, incl. IR-DWB conversions)
+    dummy_read: int = 0
+    dummy_write: int = 0
+    #: read + write cycles of background-eviction paths
+    eviction_read: int = 0
+    eviction_write: int = 0
+    #: cycles the issue-rate defense kept the controller from issuing
+    timing_stall: int = 0
+    #: cycles with no path in flight and no forced stall (compute, empty queue)
+    idle: int = 0
+
+    def components(self) -> Dict[str, int]:
+        """Every component; values sum to :attr:`total` exactly."""
+        return {
+            "data_read": self.data_read,
+            "data_write": self.data_write,
+            "posmap_read": self.posmap_read,
+            "posmap_write": self.posmap_write,
+            "dummy_read": self.dummy_read,
+            "dummy_write": self.dummy_write,
+            "eviction_read": self.eviction_read,
+            "eviction_write": self.eviction_write,
+            "timing_stall": self.timing_stall,
+            "idle": self.idle,
+        }
+
+    def fractions(self) -> Dict[str, float]:
+        if self.total == 0:
+            return {key: 0.0 for key in self.components()}
+        return {
+            key: value / self.total for key, value in self.components().items()
+        }
+
+    def to_dict(self) -> Dict[str, int]:
+        payload = dict(self.components())
+        payload["total"] = self.total
+        return payload
+
+    @staticmethod
+    def from_dict(payload: Dict[str, int]) -> "CycleBreakdown":
+        return CycleBreakdown(**{k: int(v) for k, v in payload.items()})
+
+
+class CycleAttribution:
+    """Accumulates path intervals during a run; finalized once cycles are known.
+
+    The simulator records every issued path as
+    ``(path_type, start, finish_read, finish_write, stall_until)`` where
+    ``stall_until`` is the earliest cycle the *next* slot may issue (the
+    timing-protection boundary; equal to ``finish_write`` when the defense
+    is off).  Intervals arrive in timeline order and never overlap.
+    """
+
+    def __init__(self) -> None:
+        self._types: List[str] = []
+        self._bounds: List[int] = []  # flat [start, fr, fw, stall_until, ...]
+
+    def on_path(
+        self,
+        path_type: str,
+        start: int,
+        finish_read: int,
+        finish_write: int,
+        stall_until: int,
+    ) -> None:
+        self._types.append(path_type)
+        self._bounds.extend((start, finish_read, finish_write, stall_until))
+
+    def finalize(self, cycles: int) -> CycleBreakdown:
+        """Clip the recorded timeline to ``[0, cycles]`` and bucket it."""
+        breakdown = CycleBreakdown(total=cycles)
+        bounds = self._bounds
+        cursor = 0
+        stall_until = 0
+        for index, path_type in enumerate(self._types):
+            base = 4 * index
+            start = min(bounds[base], cycles)
+            finish_read = min(bounds[base + 1], cycles)
+            finish_write = min(bounds[base + 2], cycles)
+            cursor = self._account_gap(breakdown, cursor, stall_until, start)
+            read = finish_read - start
+            write = finish_write - finish_read
+            if path_type == PathType.DATA.value:
+                breakdown.data_read += read
+                breakdown.data_write += write
+            elif path_type in _POSMAP_TYPES:
+                breakdown.posmap_read += read
+                breakdown.posmap_write += write
+            elif path_type in _DUMMY_TYPES:
+                breakdown.dummy_read += read
+                breakdown.dummy_write += write
+            else:  # eviction
+                breakdown.eviction_read += read
+                breakdown.eviction_write += write
+            cursor = finish_write
+            stall_until = bounds[base + 3]
+        self._account_gap(breakdown, cursor, stall_until, cycles)
+        return breakdown
+
+    @staticmethod
+    def _account_gap(
+        breakdown: CycleBreakdown, cursor: int, stall_until: int, end: int
+    ) -> int:
+        """Split ``[cursor, end]`` into timing stall then idle."""
+        if end <= cursor:
+            return cursor
+        stall_end = min(stall_until, end)
+        if stall_end > cursor:
+            breakdown.timing_stall += stall_end - cursor
+            cursor = stall_end
+        if end > cursor:
+            breakdown.idle += end - cursor
+        return end

@@ -1,0 +1,77 @@
+"""Metrics export: Stats registries to Prometheus text and JSON.
+
+The exporters are duck-typed over anything with ``counters``,
+``histograms``, and ``series`` mappings (i.e. :class:`repro.stats.Stats`),
+so they impose no import dependency on the stats module itself.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Any, Dict, Optional
+
+_METRIC_SANITIZE = re.compile(r"[^a-zA-Z0-9_]")
+_LABEL_SANITIZE = re.compile(r"(\\|\n|\")")
+
+
+def metric_name(key: str, prefix: str = "repro") -> str:
+    """A stats key as a legal Prometheus metric name.
+
+    ``plb.lookup_hits`` becomes ``repro_plb_lookup_hits``.
+    """
+    return f"{prefix}_{_METRIC_SANITIZE.sub('_', key)}"
+
+
+def _label_value(bucket: Any) -> str:
+    return _LABEL_SANITIZE.sub("", str(bucket))
+
+
+def _format_value(value: float) -> str:
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def to_prometheus_text(stats: Any, prefix: str = "repro") -> str:
+    """Render counters and histograms in Prometheus exposition format.
+
+    Counters become ``<prefix>_<key> <value>`` gauges; histogram buckets
+    become one sample per bucket with a ``bucket`` label.  Series are
+    omitted (they are trace-shaped, not gauge-shaped).
+    """
+    lines = []
+    for key in sorted(stats.counters):
+        name = metric_name(key, prefix)
+        lines.append(f"# TYPE {name} counter")
+        lines.append(f"{name} {_format_value(stats.counters[key])}")
+    for key in sorted(stats.histograms):
+        name = metric_name(key, prefix)
+        lines.append(f"# TYPE {name} counter")
+        hist = stats.histograms[key]
+        for bucket in sorted(hist, key=str):
+            lines.append(
+                f'{name}{{bucket="{_label_value(bucket)}"}} '
+                f"{_format_value(hist[bucket])}"
+            )
+    return "\n".join(lines) + "\n"
+
+
+def to_json_dict(stats: Any) -> Dict[str, Any]:
+    """A JSON-ready dictionary of every recorded statistic."""
+    return {
+        "counters": dict(sorted(stats.counters.items())),
+        "histograms": {
+            key: {str(bucket): value for bucket, value in hist.items()}
+            for key, hist in sorted(stats.histograms.items())
+        },
+        "series": {
+            key: [[time, value] for time, value in points]
+            for key, points in sorted(stats.series.items())
+        },
+    }
+
+
+def to_json(stats: Any, indent: Optional[int] = None) -> str:
+    """Serialize :func:`to_json_dict` (series values must be JSON-able)."""
+    return json.dumps(to_json_dict(stats), indent=indent, sort_keys=True)

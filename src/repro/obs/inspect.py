@@ -1,0 +1,157 @@
+"""Summarize a JSONL trace file (the ``repro inspect`` subcommand).
+
+Streams the file once and aggregates the figures an operator wants first:
+event volume by kind, the cycle span covered, path counts and DRAM-phase
+cycles by path type, access-latency percentiles, DRAM row-buffer behaviour,
+and the stash high-water mark.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter, defaultdict
+from typing import Any, Dict, List
+
+from ..errors import ReproError
+from . import events as ev
+
+
+def summarize_trace(path: str) -> Dict[str, Any]:
+    """Aggregate one JSONL trace file into a summary dictionary."""
+    by_kind: Counter = Counter()
+    paths_by_type: Counter = Counter()
+    read_cycles_by_type: Dict[str, int] = defaultdict(int)
+    write_cycles_by_type: Dict[str, int] = defaultdict(int)
+    latencies: List[int] = []
+    dram_accesses = 0
+    dram_row_hits = 0
+    dram_row_conflicts = 0
+    plb_hits = 0
+    plb_misses = 0
+    stash_hwm = 0
+    first_cycle = None
+    last_cycle = 0
+    total = 0
+
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+                kind = payload["kind"]
+                cycle = int(payload["cycle"])
+            except (ValueError, KeyError, TypeError) as exc:
+                raise ReproError(
+                    f"{path}:{line_number}: not a trace event line ({exc})"
+                ) from None
+            total += 1
+            by_kind[kind] += 1
+            if first_cycle is None or cycle < first_cycle:
+                first_cycle = cycle
+            last_cycle = max(last_cycle, cycle, int(payload.get("finish", 0)))
+            if kind == ev.PATH_READ:
+                path_type = payload.get("path_type", "?")
+                paths_by_type[path_type] += 1
+                read_cycles_by_type[path_type] += (
+                    int(payload.get("finish", cycle)) - cycle
+                )
+            elif kind == ev.PATH_WRITE:
+                path_type = payload.get("path_type", "?")
+                write_cycles_by_type[path_type] += (
+                    int(payload.get("finish", cycle)) - cycle
+                )
+            elif kind == ev.ACCESS_END:
+                latencies.append(int(payload.get("latency", 0)))
+            elif kind == ev.DRAM_BATCH:
+                dram_accesses += int(payload.get("accesses", 0))
+                dram_row_hits += int(payload.get("row_hits", 0))
+                dram_row_conflicts += int(payload.get("row_conflicts", 0))
+            elif kind == ev.PLB_HIT:
+                plb_hits += 1
+            elif kind == ev.PLB_MISS:
+                plb_misses += 1
+            elif kind == ev.STASH_HWM:
+                stash_hwm = max(stash_hwm, int(payload.get("occupancy", 0)))
+
+    latencies.sort()
+    return {
+        "path": path,
+        "events": total,
+        "by_kind": dict(sorted(by_kind.items())),
+        "first_cycle": first_cycle or 0,
+        "last_cycle": last_cycle,
+        "paths_by_type": dict(sorted(paths_by_type.items())),
+        "read_cycles_by_type": dict(sorted(read_cycles_by_type.items())),
+        "write_cycles_by_type": dict(sorted(write_cycles_by_type.items())),
+        "accesses_completed": len(latencies),
+        "latency": {
+            "mean": (sum(latencies) / len(latencies)) if latencies else 0.0,
+            "p50": _percentile(latencies, 0.50),
+            "p95": _percentile(latencies, 0.95),
+            "max": latencies[-1] if latencies else 0,
+        },
+        "dram": {
+            "accesses": dram_accesses,
+            "row_hits": dram_row_hits,
+            "row_conflicts": dram_row_conflicts,
+            "row_hit_rate": (
+                dram_row_hits / dram_accesses if dram_accesses else 0.0
+            ),
+        },
+        "plb": {"hits": plb_hits, "misses": plb_misses},
+        "stash_high_water_mark": stash_hwm,
+    }
+
+
+def _percentile(sorted_values: List[int], fraction: float) -> int:
+    if not sorted_values:
+        return 0
+    index = min(
+        len(sorted_values) - 1, int(fraction * (len(sorted_values) - 1))
+    )
+    return sorted_values[index]
+
+
+def format_summary(summary: Dict[str, Any]) -> str:
+    """Human-readable rendering of :func:`summarize_trace`."""
+    lines = [
+        f"trace    : {summary['path']}",
+        f"events   : {summary['events']:,} "
+        f"(cycles {summary['first_cycle']:,}..{summary['last_cycle']:,})",
+        "by kind  : "
+        + ", ".join(f"{k}={v:,}" for k, v in summary["by_kind"].items()),
+    ]
+    if summary["paths_by_type"]:
+        lines.append("paths    : " + ", ".join(
+            f"{k}={v:,}" for k, v in summary["paths_by_type"].items()
+        ))
+        busy = {
+            key: summary["read_cycles_by_type"].get(key, 0)
+            + summary["write_cycles_by_type"].get(key, 0)
+            for key in summary["paths_by_type"]
+        }
+        lines.append("busy cyc : " + ", ".join(
+            f"{k}={v:,}" for k, v in busy.items()
+        ))
+    if summary["accesses_completed"]:
+        latency = summary["latency"]
+        lines.append(
+            f"latency  : n={summary['accesses_completed']:,} "
+            f"mean={latency['mean']:.0f} p50={latency['p50']} "
+            f"p95={latency['p95']} max={latency['max']}"
+        )
+    dram = summary["dram"]
+    if dram["accesses"]:
+        lines.append(
+            f"dram     : {dram['accesses']:,} accesses, "
+            f"row-hit rate {dram['row_hit_rate']:.1%}, "
+            f"{dram['row_conflicts']:,} conflicts"
+        )
+    plb = summary["plb"]
+    if plb["hits"] or plb["misses"]:
+        lines.append(f"plb      : {plb['hits']:,} hits, {plb['misses']:,} misses")
+    if summary["stash_high_water_mark"]:
+        lines.append(f"stash hwm: {summary['stash_high_water_mark']}")
+    return "\n".join(lines)

@@ -1,0 +1,95 @@
+"""Pluggable destinations for trace events.
+
+A sink receives every :class:`~repro.obs.events.TraceEvent` the tracer
+emits.  Three are provided:
+
+* :class:`MemorySink`   — a bounded ring buffer of the most recent events;
+* :class:`JsonlSink`    — newline-delimited JSON to a file (the format
+  ``repro inspect`` summarizes);
+* :class:`CallbackSink` — hand each event to a user callable.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import Callable, Deque, List, Optional
+
+from ..errors import ConfigError
+from .events import TraceEvent
+
+
+class TraceSink:
+    """Interface: receives events until :meth:`close`."""
+
+    def emit(self, event: TraceEvent) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush and release resources; further emits are undefined."""
+
+
+class MemorySink(TraceSink):
+    """Ring buffer keeping the most recent ``capacity`` events.
+
+    On overflow the oldest events are dropped silently; ``dropped`` counts
+    how many, so consumers can tell a complete trace from a truncated one.
+    """
+
+    def __init__(self, capacity: int = 10_000) -> None:
+        if capacity < 1:
+            raise ConfigError("MemorySink capacity must be positive")
+        self.capacity = capacity
+        self._buffer: Deque[TraceEvent] = deque(maxlen=capacity)
+        self.total_emitted = 0
+
+    def emit(self, event: TraceEvent) -> None:
+        self.total_emitted += 1
+        self._buffer.append(event)
+
+    @property
+    def dropped(self) -> int:
+        return self.total_emitted - len(self._buffer)
+
+    def events(self) -> List[TraceEvent]:
+        """The retained events, oldest first."""
+        return list(self._buffer)
+
+
+class JsonlSink(TraceSink):
+    """Writes one JSON object per event to ``path`` (JSONL)."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._handle = open(path, "w", encoding="utf-8")
+        self.count = 0
+
+    def emit(self, event: TraceEvent) -> None:
+        self._handle.write(json.dumps(event.to_dict(), sort_keys=True))
+        self._handle.write("\n")
+        self.count += 1
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+
+class CallbackSink(TraceSink):
+    """Forwards each event to ``callback(event)``."""
+
+    def __init__(self, callback: Callable[[TraceEvent], None]) -> None:
+        self.callback = callback
+
+    def emit(self, event: TraceEvent) -> None:
+        self.callback(event)
+
+
+def read_jsonl(path: str) -> List[TraceEvent]:
+    """Load every event from a :class:`JsonlSink` file."""
+    events: List[TraceEvent] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(TraceEvent.from_dict(json.loads(line)))
+    return events

@@ -1,0 +1,71 @@
+"""The event tracer threaded through the simulator's components.
+
+One :class:`Tracer` serves a whole run.  It is attached to the run's
+:class:`~repro.stats.Stats` registry (``stats.tracer``) before the scheme
+is built, so every component that already holds the shared stats object
+can observe without any constructor changes.  Instrumentation sites all
+follow the same guard::
+
+    tracer = self.stats.tracer
+    if tracer is not None:
+        tracer.emit(events.PATH_READ, now, leaf=leaf, ...)
+
+With no tracer attached (the default) the cost is one attribute read and
+a falsy check; events are never constructed, and a traced run is
+cycle/counter bit-identical to an untraced one because observation never
+touches the RNG or any model state.
+
+Components that know only a point in state space but not the clock (the
+stash's high-water mark, for instance) use :attr:`Tracer.now`, which the
+controller refreshes at every issue slot.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+from .events import TraceEvent
+from .sinks import MemorySink, TraceSink
+
+
+class Tracer:
+    """Fans events out to a list of sinks."""
+
+    def __init__(
+        self,
+        sinks: Optional[Sequence[TraceSink]] = None,
+        progress_every: int = 0,
+    ) -> None:
+        self.sinks: List[TraceSink] = list(sinks) if sinks else []
+        #: emit a PROGRESS snapshot every N issued paths (0 disables)
+        self.progress_every = progress_every
+        #: last issue-slot cycle, for components without a clock
+        self.now = 0
+        self.events_emitted = 0
+
+    def add_sink(self, sink: TraceSink) -> None:
+        self.sinks.append(sink)
+
+    def emit(self, kind: str, cycle: int, **data: Any) -> None:
+        """Build one event and hand it to every sink."""
+        event = TraceEvent(kind=kind, cycle=cycle, data=data)
+        self.events_emitted += 1
+        for sink in self.sinks:
+            sink.emit(event)
+
+    def memory_events(self) -> List[TraceEvent]:
+        """Events retained by the first memory sink (empty if none)."""
+        for sink in self.sinks:
+            if isinstance(sink, MemorySink):
+                return sink.events()
+        return []
+
+    def close(self) -> None:
+        for sink in self.sinks:
+            sink.close()
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -32,10 +32,12 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Deque, List, Optional, Set, Tuple
 
+from .. import stats_keys as sk
 from ..config import SystemConfig
 from ..errors import ProtocolError
 from ..mem.dram import DRAMModel
 from ..mem.layout import TreeLayout
+from ..obs import events as ev
 from ..perf.native import fastpath as _fastpath
 from ..stats import Stats
 from .plb import PLB
@@ -57,8 +59,8 @@ from .types import (
 ONCHIP_LATENCY = 20
 
 #: Pre-rendered per-path-type stat keys (the write/read phases are hot).
-_PATHS_KEY = {pt: f"paths.{pt.value}" for pt in PathType}
-_MEM_BLOCKS_KEY = {pt: f"mem.blocks.{pt.value}" for pt in PathType}
+_PATHS_KEY = {pt: sk.paths_key(pt) for pt in PathType}
+_MEM_BLOCKS_KEY = {pt: sk.mem_blocks_key(pt) for pt in PathType}
 
 #: After this many back-to-back eviction slots one queued request is let
 #: through, preventing starvation during eviction storms.
@@ -165,14 +167,23 @@ class PathORAMController:
                 for block in self.tree.bucket(level, position):
                     if block != EMPTY:
                         self.treetop.on_place(block)
-        self.stats.set("init.overflow_blocks", len(overflow))
+        self.stats.set(sk.INIT_OVERFLOW_BLOCKS, len(overflow))
 
     # ------------------------------------------------------------------
     # request intake
     # ------------------------------------------------------------------
     def enqueue(self, request: Request) -> None:
         self.queue.append(request)
-        self.stats.inc(f"requests.{request.kind.value}")
+        self.stats.inc(sk.requests_key(request.kind))
+        tracer = self.stats.tracer
+        if tracer is not None:
+            tracer.emit(
+                ev.ACCESS_START,
+                request.arrival,
+                block=request.block,
+                req=request.kind.value,
+                write=bool(request.is_write),
+            )
 
     def has_pending_work(self, now: int) -> bool:
         """Real (non-dummy) work the controller could do at time ``now``."""
@@ -231,7 +242,7 @@ class PathORAMController:
             ):
                 self._consecutive_evictions += 1
                 return self._eviction_path(now)
-            self.stats.inc("eviction.storm_yields")
+            self.stats.inc(sk.EVICTION_STORM_YIELDS)
         self._consecutive_evictions = 0
         if self.queue and self.queue[0].arrival <= now:
             return self._step_request(now)
@@ -288,9 +299,9 @@ class PathORAMController:
 
     def _serve_stash_hit(self, request: Request, now: int) -> None:
         request.completion = now + ONCHIP_LATENCY
-        self.stats.inc("serve.stash_hits")
+        self.stats.inc(sk.SERVE_STASH_HITS)
         if request.kind is RequestKind.READ:
-            self.stats.bump("hit.level", "stash")
+            self.stats.bump(sk.HIT_LEVEL, "stash")
         if self.delayed_remap and request.kind is RequestKind.READ:
             # LLC-D: the block moves entirely into the LLC.
             self.stash.remove(request.block)
@@ -301,9 +312,9 @@ class PathORAMController:
     def _serve_treetop_hit_by_address(self, request: Request, now: int) -> None:
         """IR-Stash S-Stash hit: served with no PosMap access and no remap."""
         request.completion = now + ONCHIP_LATENCY
-        self.stats.inc("serve.sstash_hits")
+        self.stats.inc(sk.SERVE_SSTASH_HITS)
         if request.kind is RequestKind.READ:
-            self.stats.bump("hit.level", "sstash")
+            self.stats.bump(sk.HIT_LEVEL, "sstash")
         if self.delayed_remap and request.kind is RequestKind.READ:
             self._remove_from_treetop(request.block)
             self.posmap.discard(request.block)
@@ -314,9 +325,9 @@ class PathORAMController:
         """Baseline tree-top hit after translation: on chip, no remap."""
         level, _ = location
         request.completion = now + ONCHIP_LATENCY
-        self.stats.inc("serve.treetop_hits")
+        self.stats.inc(sk.SERVE_TREETOP_HITS)
         if request.kind is RequestKind.READ:
-            self.stats.bump("hit.level", level)
+            self.stats.bump(sk.HIT_LEVEL, level)
         if self.delayed_remap and request.kind is RequestKind.READ:
             self._remove_from_treetop(request.block)
             self.posmap.discard(request.block)
@@ -353,7 +364,7 @@ class PathORAMController:
             self.plb.mark_dirty(parent)
         self.stash.add(block, leaf)
         request.completion = now + ONCHIP_LATENCY
-        self.stats.inc("serve.reinserts")
+        self.stats.inc(sk.SERVE_REINSERTS)
 
     # ------------------------------------------------------------------
     # translation (PosMap / PLB)
@@ -416,7 +427,7 @@ class PathORAMController:
             self.stash.remove(pm_block)
             self.posmap.discard(pm_block)
             self._fill_plb(pm_block)
-            self.stats.inc("plb.stash_promotions")
+            self.stats.inc(sk.PLB_STASH_PROMOTIONS)
             return
         if self.oram.top_cached_levels == 0:
             return
@@ -437,7 +448,7 @@ class PathORAMController:
         self.treetop.on_remove(pm_block)
         self.posmap.discard(pm_block)
         self._fill_plb(pm_block)
-        self.stats.inc("plb.treetop_promotions")
+        self.stats.inc(sk.PLB_TREETOP_PROMOTIONS)
 
     def _fill_plb(self, pm_block: int) -> None:
         victim = self.plb.fill(pm_block, dirty=True)
@@ -448,7 +459,7 @@ class PathORAMController:
         if getattr(request, "_translation_counted", False):
             return
         request._translation_counted = True  # type: ignore[attr-defined]
-        self.stats.inc("translation.completed")
+        self.stats.inc(sk.TRANSLATION_COMPLETED)
 
     # ------------------------------------------------------------------
     # path access primitives
@@ -483,6 +494,9 @@ class PathORAMController:
             occupancy = len(stash._entries)
             if occupancy > stash.peak_occupancy:
                 stash.peak_occupancy = occupancy
+                tracer = self.stats.tracer
+                if tracer is not None:
+                    tracer.emit(ev.STASH_HWM, now, occupancy=occupancy)
             if top_blocks:
                 treetop_remove = self.treetop.on_remove
                 for block in top_blocks:
@@ -498,9 +512,20 @@ class PathORAMController:
 
         self.path_count += 1
         counters[_PATHS_KEY[path_type]] += 1
-        counters["paths.total"] += 1
-        counters["mem.blocks_read"] += blocks
+        counters[sk.PATHS_TOTAL] += 1
+        counters[sk.MEM_BLOCKS_READ] += blocks
         counters[_MEM_BLOCKS_KEY[path_type]] += 2 * blocks
+
+        tracer = self.stats.tracer
+        if tracer is not None:
+            tracer.emit(
+                ev.PATH_READ,
+                now,
+                path_type=path_type.value,
+                leaf=leaf,
+                finish=finish_read,
+                blocks=blocks,
+            )
 
         if self.observer is not None:
             addresses = self.layout.path_addresses(leaf)
@@ -580,12 +605,14 @@ class PathORAMController:
             except RuntimeError as exc:
                 raise ProtocolError(str(exc)) from None
             if top_placed:
-                stats.counters["treetop.placed"] += top_placed
+                stats.counters[sk.TREETOP_PLACED] += top_placed
             triples, blocks = self._path_dram_triples(leaf)
             finish_write = self.dram.service_decomposed(
                 triples, True, finish_read
             )
-            stats.counters["mem.blocks_written"] += blocks
+            stats.counters[sk.MEM_BLOCKS_WRITTEN] += blocks
+            self._emit_path_write(leaf, path_type, finish_read, finish_write,
+                                  blocks)
             self._after_write_phase()
             return finish_write
 
@@ -613,7 +640,7 @@ class PathORAMController:
                     if rejected is None:
                         rejected = []
                     rejected.append(block)
-                    stats.inc("sstash.placement_skips")
+                    stats.inc(sk.SSTASH_PLACEMENT_SKIPS)
                     continue
                 try:
                     free = slots.index(EMPTY)
@@ -631,15 +658,30 @@ class PathORAMController:
                     origin = (
                         "preexisting" if block in preexisting else "fetched"
                     )
-                    stats.bump(f"migration.{origin}", level)
+                    stats.bump(sk.migration_key(origin), level)
             if rejected:
                 pool.extend(rejected)
 
         triples, blocks = self._path_dram_triples(leaf)
         finish_write = self.dram.service_decomposed(triples, True, finish_read)
-        stats.counters["mem.blocks_written"] += blocks
+        stats.counters[sk.MEM_BLOCKS_WRITTEN] += blocks
+        self._emit_path_write(leaf, path_type, finish_read, finish_write,
+                              blocks)
         self._after_write_phase()
         return finish_write
+
+    def _emit_path_write(self, leaf: int, path_type: PathType, start: int,
+                         finish: int, blocks: int) -> None:
+        tracer = self.stats.tracer
+        if tracer is not None:
+            tracer.emit(
+                ev.PATH_WRITE,
+                start,
+                path_type=path_type.value,
+                leaf=leaf,
+                finish=finish,
+                blocks=blocks,
+            )
 
     def _write_path_reference(
         self, leaf: int, finish_read: int, path_type: PathType,
@@ -729,7 +771,7 @@ class PathORAMController:
         if serve_request is not None and serve_request.kind is RequestKind.READ:
             for found_block, level in removed:
                 if found_block == block:
-                    self.stats.bump("hit.level", level)
+                    self.stats.bump(sk.HIT_LEVEL, level)
                     break
 
         extract = extract_block or (
@@ -776,11 +818,20 @@ class PathORAMController:
         """
         path_type = self.namespace.path_type_for(pm_block)
         result = self.full_access(pm_block, path_type, now, extract_block=True)
-        self.stats.inc("posmap.accesses")
+        self.stats.inc(sk.POSMAP_ACCESSES)
+        tracer = self.stats.tracer
+        if tracer is not None:
+            tracer.emit(
+                ev.POSMAP_FETCH,
+                now,
+                block=pm_block,
+                path_type=path_type.value,
+                finish=result.finish_write,
+            )
         victim = self.plb.fill(pm_block, dirty=False)
         if victim is not None:
             if victim.dirty:
-                self.stats.inc("plb.dirty_evictions")
+                self.stats.inc(sk.PLB_DIRTY_EVICTIONS)
             self._reinsert_posmap_block(victim.block)
         return result
 
@@ -789,14 +840,14 @@ class PathORAMController:
         if self._translation_chain(pm_block):
             self.internal_queue.append(pm_block)
             self._limbo.add(pm_block)
-            self.stats.inc("plb.deferred_reinserts")
+            self.stats.inc(sk.PLB_DEFERRED_REINSERTS)
             return
         leaf = self.posmap.restore(pm_block)
         parent = self.namespace.parent_block(pm_block)
         if parent is not None:
             self.plb.mark_dirty(parent)
         self.stash.add(pm_block, leaf)
-        self.stats.inc("plb.reinserts")
+        self.stats.inc(sk.PLB_REINSERTS)
 
     def _drain_posmap_reinserts(self) -> None:
         """Complete deferred victim-buffer re-inserts whose parents arrived."""
@@ -813,7 +864,7 @@ class PathORAMController:
                 if parent is not None:
                     self.plb.mark_dirty(parent)
                 self.stash.add(pm_block, leaf)
-                self.stats.inc("plb.reinserts")
+                self.stats.inc(sk.PLB_REINSERTS)
 
     # ------------------------------------------------------------------
     # slot bodies
@@ -822,9 +873,14 @@ class PathORAMController:
         request = self.queue[0]
         block = request.block
         chain = self._translation_chain(block)
+        tracer = self.stats.tracer
         if chain:
-            self.stats.inc(f"plb.miss_fetches")
+            self.stats.inc(sk.PLB_MISS_FETCHES)
+            if tracer is not None:
+                tracer.emit(ev.PLB_MISS, now, block=block, fetch=chain[0])
             return self.fetch_posmap_block(chain[0], now)
+        if tracer is not None:
+            tracer.emit(ev.PLB_HIT, now, block=block)
         self._count_translation(request)
 
         if request.kind is RequestKind.REINSERT:
@@ -843,7 +899,7 @@ class PathORAMController:
         self.queue.popleft()
         path_type = PathType.DATA
         if request.kind is RequestKind.WRITEBACK:
-            self.stats.inc("writeback.paths")
+            self.stats.inc(sk.WRITEBACK_PATHS)
         return self.full_access(block, path_type, now, serve_request=request)
 
     def _step_posmap_writeback(self, now: int) -> SlotResult:
@@ -854,7 +910,7 @@ class PathORAMController:
             raise ProtocolError(
                 "victim-buffer entry with a satisfied chain survived draining"
             )
-        self.stats.inc("posmap.writeback_paths")
+        self.stats.inc(sk.POSMAP_WRITEBACK_PATHS)
         return self.fetch_posmap_block(chain[0], now)
 
     def _eviction_path(self, now: int) -> SlotResult:
@@ -865,8 +921,8 @@ class PathORAMController:
         finish_write = self._write_path(
             leaf, finish_read, PathType.EVICTION, preexisting
         )
-        self.stats.inc("eviction.paths")
-        self.stats.inc("eviction.cycles", finish_write - start)
+        self.stats.inc(sk.EVICTION_PATHS)
+        self.stats.inc(sk.EVICTION_CYCLES, finish_write - start)
         return SlotResult(True, PathType.EVICTION, start, finish_read, finish_write)
 
     def _dummy_slot(self, now: int) -> Optional[SlotResult]:
@@ -874,7 +930,7 @@ class PathORAMController:
         if self.dwb is not None:
             converted = self.dwb.dummy_slot(now)
             if converted is not None:
-                self.stats.inc("dwb.converted_slots")
+                self.stats.inc(sk.DWB_CONVERTED_SLOTS)
                 return converted
         return self.dummy_path(now)
 
@@ -893,5 +949,5 @@ class PathORAMController:
 
     def path_type_counts(self) -> dict:
         return {
-            pt.value: self.stats.get(f"paths.{pt.value}") for pt in PathType
+            pt.value: self.stats.get(_PATHS_KEY[pt]) for pt in PathType
         }

@@ -26,6 +26,7 @@ from __future__ import annotations
 import hashlib
 from typing import Dict, Optional
 
+from .. import stats_keys as sk
 from ..errors import ReproError
 from ..stats import Stats
 from .tree import ORAMTree
@@ -109,7 +110,7 @@ class MerkleIntegrity:
             index = ORAMTree.bucket_index(level, position)
             self._hashes[index] = self.compute_hash(level, position)
         self.root = self._hashes[0]
-        self.stats.inc("integrity.path_updates")
+        self.stats.inc(sk.INTEGRITY_PATH_UPDATES)
 
     def verify_path(self, leaf: int) -> None:
         """Authenticate a path against the trusted root.
@@ -134,9 +135,9 @@ class MerkleIntegrity:
                 else:
                     children = (running, sibling)
             running = _hash(self._bucket_bytes(level, position), *children)
-        self.stats.inc("integrity.path_verifications")
+        self.stats.inc(sk.INTEGRITY_PATH_VERIFICATIONS)
         if running != self.root:
-            self.stats.inc("integrity.violations")
+            self.stats.inc(sk.INTEGRITY_VIOLATIONS)
             raise IntegrityError(
                 f"path to leaf {leaf} failed Merkle verification"
             )

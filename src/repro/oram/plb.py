@@ -11,8 +11,10 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from .. import stats_keys as sk
 from ..cache.cache import EvictedLine, SetAssocCache
 from ..config import CacheConfig, ORAMConfig
+from ..obs import events as ev
 from ..stats import Stats
 
 
@@ -32,9 +34,16 @@ class PLB:
         if hit:
             # Touch for LRU by re-accessing (probe does not reorder).
             self._cache.access(posmap_block, is_write=False)
-            self.stats.inc("plb.lookup_hits")
+            self.stats.inc(sk.PLB_LOOKUP_HITS)
         else:
-            self.stats.inc("plb.lookup_misses")
+            self.stats.inc(sk.PLB_LOOKUP_MISSES)
+        tracer = self.stats.tracer
+        if tracer is not None:
+            tracer.emit(
+                ev.PLB_HIT if hit else ev.PLB_MISS,
+                tracer.now,
+                block=posmap_block,
+            )
         return hit
 
     def contains(self, posmap_block: int) -> bool:

@@ -31,9 +31,11 @@ import random
 from collections import OrderedDict, deque
 from typing import Deque, List, Optional, Tuple
 
+from .. import stats_keys as sk
 from ..config import ORAMConfig, SystemConfig
 from ..errors import ProtocolError
 from ..mem.layout import TreeLayout
+from ..obs import events as ev
 from ..stats import Stats
 from .controller import ONCHIP_LATENCY, PathORAMController, SlotResult
 from .stash import Stash
@@ -143,9 +145,9 @@ class RhoController(PathORAMController):
     def _try_instant(self, request: Request, now: int) -> bool:
         if request.block in self.small_stash:
             request.completion = now + ONCHIP_LATENCY
-            self.stats.inc("rho.small_stash_hits")
+            self.stats.inc(sk.RHO_SMALL_STASH_HITS)
             if request.kind is RequestKind.READ:
-                self.stats.bump("hit.level", "small-stash")
+                self.stats.bump(sk.HIT_LEVEL, "small-stash")
             return True
         if request.block in self.small_map:
             # Small-tree resident: must wait for a small-tree issue slot.
@@ -168,7 +170,7 @@ class RhoController(PathORAMController):
             if parent is not None:
                 self.plb.mark_dirty(parent)
             self.stash.add(block, leaf)
-            self.stats.inc("rho.main_reinserts")
+            self.stats.inc(sk.RHO_MAIN_REINSERTS)
         return []
 
     # ------------------------------------------------------------------
@@ -208,7 +210,7 @@ class RhoController(PathORAMController):
             serve_request=request,
             extract_block=promote,
         )
-        self.stats.inc("rho.main_accesses")
+        self.stats.inc(sk.RHO_MAIN_ACCESSES)
         if promote:
             self._promote_to_small(request.block)
         return result
@@ -231,7 +233,7 @@ class RhoController(PathORAMController):
         leaf = self.rng.randrange(1 << (self.small_oram.levels - 1))
         self.small_map[block] = leaf
         self.small_stash.add(block, leaf)
-        self.stats.inc("rho.promotions")
+        self.stats.inc(sk.RHO_PROMOTIONS)
         overflow = len(self.small_map) - len(self._evicting) - self.small_budget
         for candidate in list(self.small_map):
             if overflow <= 0:
@@ -239,7 +241,7 @@ class RhoController(PathORAMController):
             if candidate in self._evicting:
                 continue
             overflow -= 1
-            self.stats.inc("rho.small_evictions")
+            self.stats.inc(sk.RHO_SMALL_EVICTIONS)
             if candidate in self.small_stash:
                 self.small_stash.remove(candidate)
                 del self.small_map[candidate]
@@ -255,7 +257,7 @@ class RhoController(PathORAMController):
     def _small_slot(self, now: int) -> Optional[SlotResult]:
         if self.small_stash.over_threshold(self.small_oram.eviction_threshold):
             leaf = self.rng.randrange(1 << (self.small_oram.levels - 1))
-            self.stats.inc("rho.small_eviction_paths")
+            self.stats.inc(sk.RHO_SMALL_EVICTION_PATHS)
             return self._small_path(leaf, now, PathType.EVICTION)
         extraction = self._next_extraction()
         if extraction is not None:
@@ -265,7 +267,7 @@ class RhoController(PathORAMController):
             self._evicting.discard(victim)
             self.main_insert_queue.append(victim)
             self._pending_main_insert.add(victim)
-            self.stats.inc("rho.extractions")
+            self.stats.inc(sk.RHO_EXTRACTIONS)
             return result
         request = self._first_request_needing_small(now)
         if request is None:
@@ -275,7 +277,7 @@ class RhoController(PathORAMController):
         if block in self.small_stash:
             # Resident in the on-chip small stash: served with no path.
             request.completion = now + ONCHIP_LATENCY
-            self.stats.inc("rho.small_stash_hits")
+            self.stats.inc(sk.RHO_SMALL_STASH_HITS)
             return SlotResult(False, None, now, now, now, [request])
         leaf = self.small_map[block]
         # A demand access cancels any pending eviction of this block.
@@ -288,9 +290,9 @@ class RhoController(PathORAMController):
         )
         request.completion = result.finish_read
         result.completions.append(request)
-        self.stats.inc("rho.small_hits")
+        self.stats.inc(sk.RHO_SMALL_HITS)
         if request.kind is RequestKind.READ:
-            self.stats.bump("hit.level", "small-tree")
+            self.stats.bump(sk.HIT_LEVEL, "small-tree")
         return result
 
     def _next_extraction(self) -> Optional[Tuple[int, int]]:
@@ -320,7 +322,7 @@ class RhoController(PathORAMController):
 
     def _small_dummy(self, now: int) -> SlotResult:
         leaf = self.rng.randrange(1 << (self.small_oram.levels - 1))
-        self.stats.inc("rho.small_dummies")
+        self.stats.inc(sk.RHO_SMALL_DUMMIES)
         return self._small_path(leaf, now, PathType.DUMMY)
 
     # ------------------------------------------------------------------
@@ -357,10 +359,21 @@ class RhoController(PathORAMController):
             raise ProtocolError(f"block {remapped[0]} absent from its path")
 
         self.path_count += 1
-        self.stats.inc(f"paths.{path_type.value}")
-        self.stats.inc("paths.total")
-        self.stats.inc("paths.small_tree")
-        self.stats.inc("mem.blocks_read", len(addresses))
+        self.stats.inc(sk.paths_key(path_type))
+        self.stats.inc(sk.PATHS_TOTAL)
+        self.stats.inc(sk.PATHS_SMALL_TREE)
+        self.stats.inc(sk.MEM_BLOCKS_READ, len(addresses))
+        tracer = self.stats.tracer
+        if tracer is not None:
+            tracer.emit(
+                ev.PATH_READ,
+                now,
+                path_type=path_type.value,
+                leaf=leaf,
+                finish=finish_read,
+                blocks=len(addresses),
+                tree="small",
+            )
         if self.observer is not None:
             from .types import PathAccessRecord
 
@@ -376,7 +389,17 @@ class RhoController(PathORAMController):
 
         self._small_write_phase(leaf)
         finish_write = self.dram.service_addresses(addresses, True, finish_read)
-        self.stats.inc("mem.blocks_written", len(addresses))
+        self.stats.inc(sk.MEM_BLOCKS_WRITTEN, len(addresses))
+        if tracer is not None:
+            tracer.emit(
+                ev.PATH_WRITE,
+                finish_read,
+                path_type=path_type.value,
+                leaf=leaf,
+                finish=finish_write,
+                blocks=len(addresses),
+                tree="small",
+            )
         return SlotResult(True, path_type, now, finish_read, finish_write)
 
     def _small_write_phase(self, leaf: int) -> None:

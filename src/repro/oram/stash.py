@@ -28,6 +28,7 @@ from __future__ import annotations
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..errors import ProtocolError, StashOverflowError
+from ..obs import events as ev
 from ..perf.native import fastpath as _native
 from ..stats import Stats
 
@@ -139,6 +140,9 @@ class Stash:
         occupancy = len(entries)
         if occupancy > self.peak_occupancy:
             self.peak_occupancy = occupancy
+            tracer = self.stats.tracer
+            if tracer is not None:
+                tracer.emit(ev.STASH_HWM, tracer.now, occupancy=occupancy)
         if enforce_capacity and occupancy > self.capacity:
             raise StashOverflowError(
                 f"stash holds {occupancy} blocks > capacity {self.capacity}"

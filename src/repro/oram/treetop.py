@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from .. import stats_keys as sk
 from ..config import ORAMConfig
 from ..stats import Stats
 
@@ -52,10 +53,10 @@ class TreeTopCache:
         return True
 
     def on_place(self, block: int) -> None:
-        self.stats.inc("treetop.placed")
+        self.stats.inc(sk.TREETOP_PLACED)
 
     def on_remove(self, block: int) -> None:
-        self.stats.inc("treetop.removed")
+        self.stats.inc(sk.TREETOP_REMOVED)
 
     def describe(self) -> str:
         return (

@@ -18,6 +18,7 @@ fresh run against a reference report and fails on regressions beyond
 from __future__ import annotations
 
 import json
+import os
 import random
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -69,17 +70,42 @@ def _kernel_worker(spec: Tuple[str, int, int, int]) -> Dict[str, object]:
 
 
 def run_bench(
-    smoke: bool = False, jobs: int = 1, seed: int = BENCH_SEED
+    smoke: bool = False,
+    jobs: int = 1,
+    seed: int = BENCH_SEED,
+    trace_out: Optional[str] = None,
 ) -> Dict[str, object]:
-    """Run the suite and return the JSON-ready report."""
+    """Run the suite and return the JSON-ready report.
+
+    ``trace_out`` names a directory; each suite point then streams its
+    event trace to ``<trace_out>/<scheme>_<workload>.jsonl`` (one file per
+    point, so parallel workers never share a handle).  Tracing does not
+    change simulation results, but it does cost wall time — traced bench
+    numbers are not comparable to untraced references.
+    """
     schemes = SMOKE_SCHEMES if smoke else FULL_SCHEMES
     workloads = SMOKE_WORKLOADS if smoke else FULL_WORKLOADS
     records = SMOKE_RECORDS if smoke else FULL_RECORDS
     kernel_paths = SMOKE_KERNEL_PATHS if smoke else FULL_KERNEL_PATHS
 
+    if trace_out is not None:
+        os.makedirs(trace_out, exist_ok=True)
+
+    def point_trace(scheme: str, workload: str) -> Optional[str]:
+        if trace_out is None:
+            return None
+        return os.path.join(trace_out, f"{scheme}_{workload}.jsonl")
+
     config = SystemConfig.scaled(levels=BENCH_LEVELS)
     points = [
-        SimPoint(scheme, workload, records=records, seed=seed, config=config)
+        SimPoint(
+            scheme,
+            workload,
+            records=records,
+            seed=seed,
+            config=config,
+            trace_out=point_trace(scheme, workload),
+        )
         for scheme in schemes
         for workload in workloads
     ]
@@ -111,11 +137,13 @@ def run_bench(
         for scheme in KERNEL_SCHEMES
     ]
 
+    report_extra = {} if trace_out is None else {"trace_out": trace_out}
     return {
         "suite": "smoke" if smoke else "full",
         "levels": BENCH_LEVELS,
         "seed": seed,
         "jobs": jobs,
+        **report_extra,
         "native_kernels": native_available(),
         "suite_wall_s": round(suite_wall, 4),
         "suite_paths_per_s": round(total_paths / max(suite_wall, 1e-9), 1),

@@ -36,6 +36,8 @@ class SimPoint:
     records: int = 2500
     seed: int = 7
     config: Optional[SystemConfig] = None
+    #: optional per-point JSONL event trace destination
+    trace_out: Optional[str] = None
 
     def label(self) -> str:
         return f"{self.scheme}/{self.workload}"
@@ -52,18 +54,19 @@ class PointResult:
 
 def _run_point(point: SimPoint) -> PointResult:
     # Imported lazily so worker processes pay the import once, not the
-    # parent at module load (runner imports the full scheme zoo).
-    from ..sim.runner import run_benchmark
+    # parent at module load (the facade imports the full scheme zoo).
+    from .. import api
 
-    start = time.perf_counter()
-    result = run_benchmark(
-        point.scheme,
-        point.workload,
-        point.config,
+    spec = api.RunSpec(
+        scheme=point.scheme,
+        workload=point.workload,
         records=point.records,
         seed=point.seed,
+        config=point.config,
+        obs=api.ObsOptions(trace_out=point.trace_out),
     )
-    return PointResult(point, result, time.perf_counter() - start)
+    out = api.run(spec)
+    return PointResult(point, out.result, out.wall_s)
 
 
 def default_jobs() -> int:

@@ -12,13 +12,14 @@ from pathlib import Path
 from typing import Iterable, List, Union
 
 from ..errors import ReproError
+from ..obs.breakdown import CycleBreakdown
 from .results import SimulationResult
 
 FORMAT_VERSION = 1
 
 
 def result_to_dict(result: SimulationResult) -> dict:
-    return {
+    payload = {
         "version": FORMAT_VERSION,
         "trace_name": result.trace_name,
         "cycles": result.cycles,
@@ -32,6 +33,9 @@ def result_to_dict(result: SimulationResult) -> dict:
             for time, snapshot in result.utilization_series
         ],
     }
+    if result.breakdown is not None:
+        payload["breakdown"] = result.breakdown.to_dict()
+    return payload
 
 
 def result_from_dict(payload: dict) -> SimulationResult:
@@ -60,6 +64,11 @@ def result_from_dict(payload: dict) -> SimulationResult:
             (time, snapshot)
             for time, snapshot in payload["utilization_series"]
         ],
+        breakdown=(
+            CycleBreakdown.from_dict(payload["breakdown"])
+            if "breakdown" in payload
+            else None
+        ),
     )
 
 

@@ -3,8 +3,10 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
+from .. import stats_keys as sk
+from ..obs.breakdown import CycleBreakdown
 from ..oram.types import PathType
 from ..stats import Stats
 
@@ -22,17 +24,21 @@ class SimulationResult:
     utilization_series: List[Tuple[float, List[float]]] = field(
         default_factory=list
     )
+    #: exact per-component cycle attribution (components sum to ``cycles``)
+    breakdown: Optional[CycleBreakdown] = None
 
     @staticmethod
-    def from_run(trace_name, cycles, instructions, stats: Stats, controller):
+    def from_run(trace_name, cycles, instructions, stats: Stats, controller,
+                 breakdown: Optional[CycleBreakdown] = None):
         return SimulationResult(
             trace_name=trace_name,
             cycles=cycles,
             instructions=instructions,
             path_counts=controller.path_type_counts(),
             counters=stats.snapshot(),
-            hit_levels=stats.histogram("hit.level"),
-            utilization_series=list(stats.series.get("tree.utilization", [])),
+            hit_levels=stats.histogram(sk.HIT_LEVEL),
+            utilization_series=list(stats.series.get(sk.TREE_UTILIZATION, [])),
+            breakdown=breakdown,
         )
 
     # -- derived metrics -------------------------------------------------------
@@ -41,7 +47,7 @@ class SimulationResult:
         return self.instructions / self.cycles if self.cycles else 0.0
 
     def total_paths(self) -> float:
-        return self.counters.get("paths.total", 0.0)
+        return self.counters.get(sk.PATHS_TOTAL, 0.0)
 
     def dummy_fraction(self) -> float:
         total = self.total_paths()
@@ -55,17 +61,17 @@ class SimulationResult:
         ) + self.path_counts.get(PathType.POS2.value, 0.0)
 
     def memory_accesses(self) -> float:
-        return self.counters.get("mem.blocks_read", 0.0) + self.counters.get(
-            "mem.blocks_written", 0.0
+        return self.counters.get(sk.MEM_BLOCKS_READ, 0.0) + self.counters.get(
+            sk.MEM_BLOCKS_WRITTEN, 0.0
         )
 
     def background_evictions(self) -> float:
-        return self.counters.get("eviction.paths", 0.0)
+        return self.counters.get(sk.EVICTION_PATHS, 0.0)
 
     def eviction_cycle_share(self) -> float:
         if self.cycles == 0:
             return 0.0
-        return self.counters.get("eviction.cycles", 0.0) / self.cycles
+        return self.counters.get(sk.EVICTION_CYCLES, 0.0) / self.cycles
 
     def speedup_over(self, baseline: "SimulationResult") -> float:
         """Execution-time speedup of ``self`` relative to ``baseline``."""

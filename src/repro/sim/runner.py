@@ -1,20 +1,24 @@
-"""High-level entry points: run a scheme on a benchmark or a raw trace."""
+"""Legacy entry points, kept as shims over :mod:`repro.api`.
+
+:func:`make_workload` remains the canonical workload factory (the facade
+itself calls it); :func:`run_trace` and :func:`run_benchmark` are
+deprecated — construct a :class:`repro.api.RunSpec` and call
+:func:`repro.api.run` instead.
+"""
 
 from __future__ import annotations
 
 import random
+import warnings
 from typing import Callable, Dict, Optional
 
 from ..config import ORAMConfig, SystemConfig
-from ..core.schemes import build_scheme
 from ..errors import ConfigError
-from ..stats import Stats
 from ..traces.benchmarks import BENCHMARKS, benchmark_trace
 from ..traces.mix import standard_mix
 from ..traces.synthetic import random_trace
 from ..traces.trace import Trace
 from .results import SimulationResult
-from .simulator import Simulator
 
 
 def run_trace(
@@ -24,11 +28,24 @@ def run_trace(
     seed: int = 1,
     utilization_snapshots: int = 0,
 ) -> SimulationResult:
-    """Run one trace through one scheme and return the result."""
-    config = config if config is not None else SystemConfig.scaled()
-    components = build_scheme(scheme, config, Stats(), random.Random(seed))
-    simulator = Simulator(components, trace)
-    return simulator.run(utilization_snapshots=utilization_snapshots)
+    """Deprecated: use ``repro.api.run(RunSpec(..., trace=trace))``."""
+    warnings.warn(
+        "repro.sim.runner.run_trace is deprecated; use "
+        "repro.api.run(RunSpec(scheme=..., trace=...)) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from .. import api
+
+    spec = api.RunSpec(
+        scheme=scheme,
+        workload=trace.name,
+        seed=seed,
+        config=config,
+        utilization_snapshots=utilization_snapshots,
+        trace=trace,
+    )
+    return api.run(spec).result
 
 
 def make_workload(
@@ -62,16 +79,24 @@ def run_benchmark(
     seed: int = 7,
     utilization_snapshots: int = 0,
 ) -> SimulationResult:
-    """Run a named workload through a scheme."""
-    config = config if config is not None else SystemConfig.scaled()
-    trace = make_workload(workload, config, records, seed)
-    return run_trace(
-        scheme,
-        trace,
-        config,
+    """Deprecated: use ``repro.api.run(RunSpec(...))``."""
+    warnings.warn(
+        "repro.sim.runner.run_benchmark is deprecated; use "
+        "repro.api.run(RunSpec(scheme=..., workload=...)) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from .. import api
+
+    spec = api.RunSpec(
+        scheme=scheme,
+        workload=workload,
+        records=records,
         seed=seed,
+        config=config,
         utilization_snapshots=utilization_snapshots,
     )
+    return api.run(spec).result
 
 
 def random_trace_evaluator(
@@ -87,11 +112,18 @@ def random_trace_evaluator(
     """
 
     def evaluate(oram: ORAMConfig) -> Dict[str, float]:
+        from .. import api
+
         config = base_config.with_oram(oram)
         trace = make_workload("random", config, records, seed)
-        result = run_trace("Baseline", trace, config, seed=seed)
         # 'Baseline' here only selects the plain composition; the candidate
         # allocation rides in through the config itself.
+        result = api.run(
+            api.RunSpec(
+                scheme="Baseline", workload="random", seed=seed,
+                config=config, trace=trace,
+            )
+        ).result
         return {
             "cycles": float(result.cycles),
             "evictions": result.background_evictions(),

@@ -14,11 +14,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from .. import stats_keys as sk
 from ..cache.cache import EvictedLine
 from ..cache.llc import LastLevelCache
 from ..core.schemes import SimComponents
 from ..cpu.processor import MemoryOp, Processor
 from ..errors import ProtocolError
+from ..obs import events as ev
+from ..obs.breakdown import CycleAttribution
 from ..oram.controller import PathORAMController
 from ..oram.types import Request, RequestKind
 from ..stats import Stats
@@ -67,8 +70,13 @@ class MemoryHierarchy:
         if self.llc.probe(block):
             self.llc.access(block, op.is_write)  # counts the hit, moves LRU
             return None
-        self.stats.inc("llc.misses")
-        self.stats.inc("hierarchy.demand_misses")
+        self.stats.inc(sk.LLC_MISSES)
+        self.stats.inc(sk.HIERARCHY_DEMAND_MISSES)
+        tracer = self.stats.tracer
+        if tracer is not None:
+            tracer.emit(
+                ev.LLC_MISS, op.time, block=block, write=bool(op.is_write)
+            )
         request = Request(
             block=block,
             kind=RequestKind.READ,
@@ -101,6 +109,15 @@ class MemoryHierarchy:
         self.last_demand_completion = max(
             self.last_demand_completion, request.completion
         )
+        tracer = self.stats.tracer
+        if tracer is not None:
+            tracer.emit(
+                ev.ACCESS_END,
+                request.completion,
+                block=request.block,
+                latency=request.completion - request.arrival,
+                waiters=request.waiters,
+            )
         evicted = self.llc.insert(request.block, dirty=flight.want_dirty)
         if evicted is not None:
             self.handle_eviction(evicted, request.completion)
@@ -146,6 +163,9 @@ class Simulator:
         hierarchy = self.hierarchy
         oram = self.components.config.oram
         interval = oram.issue_interval
+        tracer = self.stats.tracer
+        progress_every = tracer.progress_every if tracer is not None else 0
+        attribution = CycleAttribution()
 
         snapshot_every = 0
         if utilization_snapshots:
@@ -157,6 +177,8 @@ class Simulator:
         last_finish = 0
         idle_iterations = 0
         while True:
+            if tracer is not None:
+                tracer.now = now
             processor.advance_to(now, hierarchy.cpu_access)
             trace_active = not processor.trace_exhausted()
             result = controller.step(now, allow_dummy=trace_active)
@@ -178,11 +200,24 @@ class Simulator:
             if result.issued_path:
                 last_finish = max(last_finish, result.finish_write)
                 if oram.timing_protection:
-                    now = max(now + interval, result.finish_write)
+                    stall_until = now + interval
+                    now = max(stall_until, result.finish_write)
                 else:
+                    stall_until = result.finish_write
                     now = max(now + 1, result.finish_write)
+                attribution.on_path(
+                    result.path_type.value,
+                    result.start,
+                    result.finish_read,
+                    result.finish_write,
+                    stall_until,
+                )
                 if snapshot_every and controller.path_count % snapshot_every == 0:
                     self._record_utilization(now)
+                if progress_every and (
+                    controller.path_count % progress_every == 0
+                ):
+                    self._emit_progress(tracer, now)
 
         cycles = max(
             processor.finish_time or 0,
@@ -190,14 +225,15 @@ class Simulator:
         )
         if cycles == 0:
             cycles = last_finish
-        self.stats.set("sim.cycles", cycles)
-        self.stats.set("sim.instructions", processor.retired_instructions)
+        self.stats.set(sk.SIM_CYCLES, cycles)
+        self.stats.set(sk.SIM_INSTRUCTIONS, processor.retired_instructions)
         return SimulationResult.from_run(
             trace_name=self.trace.name,
             cycles=cycles,
             instructions=processor.retired_instructions,
             stats=self.stats,
             controller=controller,
+            breakdown=attribution.finalize(cycles),
         )
 
     def _advance_idle(self, now: int) -> int:
@@ -217,4 +253,16 @@ class Simulator:
 
     def _record_utilization(self, now: int) -> None:
         snapshot = self.controller.tree.level_utilization()
-        self.stats.record("tree.utilization", now, snapshot)
+        self.stats.record(sk.TREE_UTILIZATION, now, snapshot)
+
+    def _emit_progress(self, tracer, now: int) -> None:
+        """Periodic progress snapshot (``Tracer.progress_every`` paths)."""
+        controller = self.controller
+        data = {
+            "paths": controller.path_count,
+            "instructions": self.processor.retired_instructions,
+            "stash": len(controller.stash),
+            "in_flight": len(self.hierarchy.in_flight),
+        }
+        tracer.emit(ev.PROGRESS, now, **data)
+        self.stats.record(sk.OBS_PROGRESS, now, data)

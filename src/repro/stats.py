@@ -4,12 +4,26 @@ Every component (DRAM model, caches, ORAM controller, IR-* engines) holds a
 reference to one :class:`Stats` instance and records named counters,
 histograms, and point-in-time snapshots into it.  The experiment harness
 reads the registry after a run to regenerate the paper's tables and figures.
+
+Counter keys are namespaced strings from :mod:`repro.stats_keys`
+(``plb.reinserts``, ``dram.row_hits``, ...); :meth:`Stats.namespace`
+returns one component's slice and the exporters
+(:meth:`to_prometheus_text`, :meth:`to_json`) render the whole registry.
+
+The registry also carries the run's optional
+:class:`~repro.obs.tracer.Tracer` (:attr:`Stats.tracer`): components that
+already share the stats object read ``stats.tracer`` to emit structured
+trace events without any constructor plumbing.  ``tracer`` is ``None`` by
+default, in which case instrumentation sites cost one attribute check.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Any, Dict, List, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import (cycle guard)
+    from .obs.tracer import Tracer
 
 
 class Stats:
@@ -21,6 +35,9 @@ class Stats:
             lambda: defaultdict(float)
         )
         self.series: Dict[str, List[Tuple[float, Any]]] = defaultdict(list)
+        #: optional event tracer for this run (see repro.obs); attach it
+        #: before building a scheme so components pick it up.
+        self.tracer: Optional["Tracer"] = None
 
     # -- counters ----------------------------------------------------------
     def inc(self, key: str, amount: float = 1) -> None:
@@ -49,6 +66,27 @@ class Stats:
         """Append ``(time, value)`` to series ``key``."""
         self.series[key].append((time, value))
 
+    # -- pickling ----------------------------------------------------------
+    # Registries cross process boundaries (repro.api.run_many fans RunResults
+    # out over workers), but defaultdict factories and tracer sinks (open
+    # file handles, callables) do not: serialize plain dicts, drop the tracer.
+    def __getstate__(self) -> Dict[str, Any]:
+        return {
+            "counters": dict(self.counters),
+            "histograms": {
+                key: dict(hist) for key, hist in self.histograms.items()
+            },
+            "series": {key: list(points) for key, points in self.series.items()},
+        }
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.__init__()
+        self.counters.update(state["counters"])
+        for key, hist in state["histograms"].items():
+            self.histograms[key].update(hist)
+        for key, points in state["series"].items():
+            self.series[key].extend(points)
+
     # -- aggregation -------------------------------------------------------
     def snapshot(self) -> Dict[str, float]:
         """Return a copy of all counters."""
@@ -70,6 +108,38 @@ class Stats:
         if denom == 0:
             return 0.0
         return self.get(numerator) / denom
+
+    # -- namespaced views ---------------------------------------------------
+    def namespace(self, prefix: str) -> Dict[str, float]:
+        """Counters of one component namespace, keys stripped of the prefix.
+
+        ``stats.namespace("plb")`` returns ``{"reinserts": ..., ...}`` for
+        every counter named ``plb.<something>``.
+        """
+        lead = prefix + "."
+        return {
+            key[len(lead):]: value
+            for key, value in self.counters.items()
+            if key.startswith(lead)
+        }
+
+    def namespaces(self) -> List[str]:
+        """Every namespace with at least one counter, sorted."""
+        seen = {key.split(".", 1)[0] for key in self.counters if "." in key}
+        return sorted(seen)
+
+    # -- export -------------------------------------------------------------
+    def to_prometheus_text(self, prefix: str = "repro") -> str:
+        """Counters and histograms in Prometheus exposition format."""
+        from .obs.exporters import to_prometheus_text
+
+        return to_prometheus_text(self, prefix=prefix)
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """Counters, histograms, and series as a JSON document."""
+        from .obs.exporters import to_json
+
+        return to_json(self, indent=indent)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Stats({len(self.counters)} counters)"
