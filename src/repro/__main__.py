@@ -24,7 +24,6 @@ import sys
 from typing import List, Optional
 
 from . import api
-from .core.ir_alloc import find_z_allocation
 from .core.schemes import SCHEMES
 from .traces.benchmarks import BENCHMARKS
 
@@ -142,7 +141,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
             return 1
     report = bench.run_bench(
         smoke=args.smoke, jobs=args.jobs, seed=args.seed,
-        trace_out=args.trace_out,
+        trace_out=args.trace_out, profile=args.profile,
     )
     print(bench.format_report(report))
     if args.trace_out:
@@ -194,18 +193,17 @@ def cmd_workloads(_args: argparse.Namespace) -> int:
 
 
 def cmd_zsearch(args: argparse.Namespace) -> int:
-    from .sim.runner import random_trace_evaluator
+    from .perf.engine import cached_z_allocation
 
     config = api.RunSpec(
         config_name=args.config, levels=args.levels
     ).resolve_config()
-    evaluate = random_trace_evaluator(config, records=args.records,
-                                      seed=args.seed)
     print(f"searching Z allocation for L={config.oram.levels} "
           f"(uniform PL={config.oram.blocks_per_path()}) ...")
-    best = find_z_allocation(
-        config.oram,
-        evaluate,
+    best = cached_z_allocation(
+        config,
+        records=args.records,
+        seed=args.seed,
         max_space_reduction=args.max_space_reduction,
         max_eviction_increase=args.max_eviction_increase,
     )
@@ -268,6 +266,9 @@ def build_parser() -> argparse.ArgumentParser:
     bench_p.add_argument("--trace-out", default=None, metavar="DIR",
                          help="write per-point JSONL traces under this "
                               "directory")
+    bench_p.add_argument("--profile", action="store_true",
+                         help="attach cProfile top-N hotspots per phase "
+                              "(forces --jobs 1; numbers not comparable)")
     bench_p.set_defaults(func=cmd_bench)
 
     ins_p = sub.add_parser(

@@ -173,8 +173,17 @@ def _build_tracer(obs: ObsOptions) -> Optional[Tracer]:
     return tracer
 
 
-def run(spec: RunSpec) -> RunResult:
-    """Run one :class:`RunSpec` to completion."""
+def run(spec: RunSpec, artifacts=None) -> RunResult:
+    """Run one :class:`RunSpec` to completion.
+
+    ``artifacts`` is an optional :class:`repro.perf.engine.ArtifactCache`
+    supplying pre-built config-derived artifacts (workload traces, subtree
+    layouts, DRAM triple tables).  Everything it caches is a pure function
+    of the config and seed, so injected runs are cycle- and counter-
+    bit-identical to cold ones; the cache's hit/miss deltas are recorded
+    into :attr:`RunResult.stats` under ``engine.*`` *after* the simulation
+    result snapshots its counters, keeping ``result.counters`` clean.
+    """
     # Imported here: the scheme zoo and trace generators are heavy, and
     # several modules import repro.api at module load.
     from .core.schemes import build_scheme
@@ -183,16 +192,22 @@ def run(spec: RunSpec) -> RunResult:
 
     start = time.perf_counter()
     config = spec.resolve_config()
-    trace = (
-        spec.trace
-        if spec.trace is not None
-        else make_workload(spec.workload, config, spec.records, spec.seed)
-    )
+    engine_before = dict(artifacts.counters) if artifacts is not None else {}
+    if spec.trace is not None:
+        trace = spec.trace
+    elif artifacts is not None:
+        trace = artifacts.trace_for(
+            spec.workload, config, spec.records, spec.seed
+        )
+    else:
+        trace = make_workload(spec.workload, config, spec.records, spec.seed)
     stats = Stats()
     tracer = _build_tracer(spec.obs)
     if tracer is not None:
         stats.tracer = tracer
     components = build_scheme(spec.scheme, config, stats, random.Random(spec.seed))
+    if artifacts is not None:
+        artifacts.attach(components.controller)
     try:
         result = Simulator(components, trace).run(
             utilization_snapshots=spec.utilization_snapshots
@@ -200,6 +215,13 @@ def run(spec: RunSpec) -> RunResult:
     finally:
         if tracer is not None:
             tracer.close()
+    if artifacts is not None:
+        # Recorded after the Simulator snapshots result.counters, so the
+        # engine's bookkeeping never leaks into simulation results.
+        for key, value in artifacts.counters.items():
+            delta = value - engine_before.get(key, 0)
+            if delta:
+                stats.set(key, delta)
     if spec.obs.metrics_out:
         with open(spec.obs.metrics_out, "w", encoding="utf-8") as handle:
             handle.write(stats.to_json(indent=1))
@@ -218,13 +240,18 @@ def run_many(
     ``obs.callback`` cannot cross process boundaries; run those serially.
     With ``jobs > 1`` in-memory ring events are dropped on the way back
     (tracers do not pickle); use ``trace_out`` files instead.
+
+    Execution goes through the warm-pool engine
+    (:mod:`repro.perf.engine`): workers persist across calls, config-
+    derived artifacts are cached per process, and specs dispatch
+    longest-expected-first so stragglers start early.
     """
-    from .perf.parallel import fanout_map
+    from .perf.engine import engine_map, run_spec_warm, spec_cost
 
     specs = list(specs)
     if jobs is None:
         jobs = max((spec.jobs for spec in specs), default=1)
-    return fanout_map(run, specs, jobs=jobs)
+    return engine_map(run_spec_warm, specs, jobs=jobs, cost=spec_cost)
 
 
 def sweep(
@@ -257,11 +284,15 @@ def bench(
     jobs: int = 1,
     seed: int = 7,
     trace_out: Optional[str] = None,
+    profile: bool = False,
 ) -> Dict[str, object]:
     """Run the performance suite; see :func:`repro.perf.bench.run_bench`."""
     from .perf.bench import run_bench
 
-    return run_bench(smoke=smoke, jobs=jobs, seed=seed, trace_out=trace_out)
+    return run_bench(
+        smoke=smoke, jobs=jobs, seed=seed, trace_out=trace_out,
+        profile=profile,
+    )
 
 
 def summarize_trace(path: str) -> Dict[str, Any]:

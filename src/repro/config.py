@@ -21,6 +21,7 @@ The paper's evaluation platform (Table I) is described by four pieces:
 
 from __future__ import annotations
 
+import hashlib
 import math
 from dataclasses import dataclass, field, replace
 from typing import Optional, Sequence, Tuple
@@ -337,6 +338,18 @@ class SystemConfig:
 
     def with_oram(self, oram: ORAMConfig) -> "SystemConfig":
         return replace(self, oram=oram)
+
+    def fingerprint(self) -> str:
+        """Short stable digest identifying this exact platform.
+
+        Keys the cross-run artifact caches in :mod:`repro.perf.engine`.
+        Frozen dataclasses render every field (including the nested
+        configs) deterministically through ``repr``, so two configs share
+        a fingerprint iff they are equal — any field change, e.g. an
+        IR-Alloc Z vector, yields a different digest.
+        """
+        digest = hashlib.sha256(repr(self).encode("utf-8"))
+        return digest.hexdigest()[:16]
 
 
 def scaled_user_blocks(tree_slots: int, utilization: float) -> int:

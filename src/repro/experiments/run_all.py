@@ -70,14 +70,26 @@ def main(argv: List[str] = None, jobs: int = 1) -> List[ExperimentResult]:
         name for name, _ in ALL_EXPERIMENTS
         if not selected or name in selected
     ]
-    from ..perf.parallel import fanout_map
+    # Through the warm-pool engine: regenerator wall times recorded on
+    # previous runs order the dispatch longest-first, so the slowest
+    # figure starts immediately instead of queueing behind quick tables.
+    from ..perf.engine import engine_map, get_priors
 
+    priors = get_priors()
+    rows = engine_map(
+        _run_named,
+        names,
+        jobs=jobs,
+        cost=lambda name: priors.predict("experiments", name) or 1.0,
+    )
     results = []
-    for name, result, elapsed in fanout_map(_run_named, names, jobs=jobs):
+    for name, result, elapsed in rows:
+        priors.observe("experiments", name, elapsed)
         print(result.to_text())
         print(f"[{name} regenerated in {elapsed:.1f}s]")
         print()
         results.append(result)
+    priors.save()
     return results
 
 

@@ -54,12 +54,13 @@ class DRAMModel:
 
     # -- address decomposition ----------------------------------------------
     def decompose(self, phys_block: int) -> Tuple[int, int, int]:
-        """Return ``(channel, bank, row)`` for a physical block address."""
-        cfg = self.config
-        row = phys_block // cfg.row_blocks
-        channel = row % cfg.channels
-        bank = (row // cfg.channels) % cfg.banks_per_channel
-        return channel, bank, row
+        """Return ``(channel, bank, row)`` for a physical block address.
+
+        Delegates to :meth:`decompose_batch` so the address-mapping
+        arithmetic lives in exactly one place.
+        """
+        flat_bank, channel, row = self.decompose_batch((phys_block,))
+        return channel, flat_bank - channel * self.config.banks_per_channel, row
 
     def decompose_batch(self, addresses: Iterable[int]) -> List[int]:
         """Pre-resolve addresses to a flat ``[bank, channel, row, ...]`` list.
@@ -93,17 +94,22 @@ class DRAMModel:
         """
         accesses = list(accesses)
         writes = sum(1 for access in accesses if access.is_write)
-        addresses = [access.phys_block for access in accesses]
-        is_write = writes == len(addresses)
-        if 0 < writes < len(addresses):
-            # Mixed batch: split to keep per-direction counters exact.
+        if 0 < writes < len(accesses):
+            # Mixed batch: split into maximal same-direction runs so the
+            # per-direction counters stay exact while runs keep the
+            # batch path's bank/bus pipelining.
             finish = start_cycle
+            run: List[int] = []
+            run_write = accesses[0].is_write
             for access in accesses:
-                finish = self.service_addresses(
-                    [access.phys_block], access.is_write, finish
-                )
-            return finish
-        return self.service_addresses(addresses, is_write, start_cycle)
+                if access.is_write != run_write:
+                    finish = self.service_addresses(run, run_write, finish)
+                    run = []
+                    run_write = access.is_write
+                run.append(access.phys_block)
+            return self.service_addresses(run, run_write, finish)
+        addresses = [access.phys_block for access in accesses]
+        return self.service_addresses(addresses, writes == len(addresses), start_cycle)
 
     def service_addresses(
         self, addresses: List[int], is_write: bool, start_cycle: int

@@ -120,7 +120,9 @@ class PathORAMController:
         self.track_migration = False
 
         #: leaf -> (decomposed DRAM triples, block count) for one path;
-        #: the triples alias the DRAM model's live bank objects.
+        #: plain integers (flat bank index, channel, row), valid for every
+        #: DRAM model built from the same config, so the table may be
+        #: shared across runs (see :meth:`adopt_artifacts`).
         self._path_dram: dict = {}
         #: C kernel for the read-phase stash fill (valid for every scheme:
         #: tree-top removal hooks run in Python on the returned top blocks)
@@ -539,6 +541,21 @@ class PathORAMController:
             self.observer(record)
         return finish_read, now, removed
 
+    def adopt_artifacts(self, layout: TreeLayout, path_dram: dict) -> None:
+        """Adopt shared config-derived artifacts from an artifact cache.
+
+        ``layout`` and ``path_dram`` (the leaf -> decomposed-triples table)
+        are pure functions of the system config — the triples are plain
+        integer lists indexed by the flat bank scheme of
+        :meth:`~repro.mem.dram.DRAMModel.decompose_batch` — so adopting
+        them changes no simulated cycle or counter, only setup cost.
+        Called by :meth:`repro.perf.engine.ArtifactCache.attach` for plain
+        ``PathORAMController`` instances (subclasses lay out additional
+        trees at shifted base rows and keep private state).
+        """
+        self.layout = layout
+        self._path_dram = path_dram
+
     def _path_dram_triples(self, leaf: int) -> Tuple[list, int]:
         """Memoized ``(decomposed triples, block count)`` for one path."""
         cached = self._path_dram.get(leaf)
@@ -560,7 +577,10 @@ class PathORAMController:
                     len(addresses),
                 )
             if len(self._path_dram) >= ORAMTree.PATH_CACHE_LIMIT:
-                self._path_dram.clear()
+                # FIFO eviction: drop the oldest entry (dicts preserve
+                # insertion order) so hot leaves survive cache pressure
+                # instead of being wiped with everything else.
+                self._path_dram.pop(next(iter(self._path_dram)))
             self._path_dram[leaf] = cached
         return cached
 

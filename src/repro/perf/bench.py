@@ -17,15 +17,22 @@ fresh run against a reference report and fails on regressions beyond
 
 from __future__ import annotations
 
+import cProfile
+import io
 import json
 import os
+import pstats
 import random
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..config import SystemConfig
+from .engine import aggregate_engine_counters, run_points
 from .native import available as native_available
-from .parallel import SimPoint, run_points
+from .parallel import SimPoint
+
+#: rows kept per phase by ``--profile`` (sorted by cumulative time)
+PROFILE_TOP_N = 12
 
 #: tree levels for every bench configuration (kept modest so the suite
 #: finishes in seconds while still exercising the real protocol depth)
@@ -69,11 +76,34 @@ def _kernel_worker(spec: Tuple[str, int, int, int]) -> Dict[str, object]:
     }
 
 
+def _profile_rows(profile: cProfile.Profile) -> List[Dict[str, object]]:
+    """Top-N rows of a finished profile, sorted by cumulative time."""
+    stream = io.StringIO()
+    stats = pstats.Stats(profile, stream=stream)
+    rows: List[Dict[str, object]] = []
+    entries = sorted(
+        stats.stats.items(),  # type: ignore[attr-defined]
+        key=lambda item: -item[1][3],  # cumulative time
+    )
+    for (filename, line, name), data in entries[:PROFILE_TOP_N]:
+        calls, _, tottime, cumtime, _ = data
+        rows.append(
+            {
+                "func": f"{os.path.basename(filename)}:{line}({name})",
+                "calls": int(calls),
+                "tottime": round(tottime, 4),
+                "cumtime": round(cumtime, 4),
+            }
+        )
+    return rows
+
+
 def run_bench(
     smoke: bool = False,
     jobs: int = 1,
     seed: int = BENCH_SEED,
     trace_out: Optional[str] = None,
+    profile: bool = False,
 ) -> Dict[str, object]:
     """Run the suite and return the JSON-ready report.
 
@@ -82,11 +112,18 @@ def run_bench(
     point, so parallel workers never share a handle).  Tracing does not
     change simulation results, but it does cost wall time — traced bench
     numbers are not comparable to untraced references.
+
+    ``profile`` wraps each phase in :mod:`cProfile` and attaches the
+    top-N hotspots per phase to the report.  Profiling forces the suite
+    serial (``jobs=1``) — child processes cannot be profiled from here —
+    and costs wall time, so profiled numbers are not comparable either.
     """
     schemes = SMOKE_SCHEMES if smoke else FULL_SCHEMES
     workloads = SMOKE_WORKLOADS if smoke else FULL_WORKLOADS
     records = SMOKE_RECORDS if smoke else FULL_RECORDS
     kernel_paths = SMOKE_KERNEL_PATHS if smoke else FULL_KERNEL_PATHS
+    if profile:
+        jobs = 1
 
     if trace_out is not None:
         os.makedirs(trace_out, exist_ok=True)
@@ -109,7 +146,12 @@ def run_bench(
         for scheme in schemes
         for workload in workloads
     ]
+    suite_profile = cProfile.Profile() if profile else None
+    if suite_profile is not None:
+        suite_profile.enable()
     results, suite_wall = run_points(points, jobs=jobs)
+    if suite_profile is not None:
+        suite_profile.disable()
 
     point_rows = []
     total_paths = 0.0
@@ -132,13 +174,18 @@ def run_bench(
     # The kernel section measures single-core throughput, so it always
     # runs serially — parallel kernel runs would contend with each other
     # and report degraded, machine-load-dependent numbers.
+    kernel_profile = cProfile.Profile() if profile else None
+    if kernel_profile is not None:
+        kernel_profile.enable()
     kernel_rows = [
         _kernel_worker((scheme, BENCH_LEVELS, kernel_paths, seed))
         for scheme in KERNEL_SCHEMES
     ]
+    if kernel_profile is not None:
+        kernel_profile.disable()
 
     report_extra = {} if trace_out is None else {"trace_out": trace_out}
-    return {
+    report = {
         "suite": "smoke" if smoke else "full",
         "levels": BENCH_LEVELS,
         "seed": seed,
@@ -147,9 +194,21 @@ def run_bench(
         "native_kernels": native_available(),
         "suite_wall_s": round(suite_wall, 4),
         "suite_paths_per_s": round(total_paths / max(suite_wall, 1e-9), 1),
+        "engine": {
+            key.split(".", 1)[1]: value
+            for key, value in sorted(
+                aggregate_engine_counters(results).items()
+            )
+        },
         "points": point_rows,
         "kernel": kernel_rows,
     }
+    if suite_profile is not None and kernel_profile is not None:
+        report["profile"] = {
+            "suite": _profile_rows(suite_profile),
+            "kernel": _profile_rows(kernel_profile),
+        }
+    return report
 
 
 def check_report(
@@ -210,6 +269,24 @@ def format_report(report: Dict[str, object]) -> str:
     lines.append(f"{'kernel (hot path alone)':<19} {'paths/s':>9}")
     for row in report["kernel"]:
         lines.append(f"{row['scheme']:<19} {row['paths_per_s']:>9.0f}")
+    engine = report.get("engine") or {}
+    if engine:
+        lines.append("")
+        lines.append(
+            "engine: " + "  ".join(
+                f"{key}={value}" for key, value in sorted(engine.items())
+            )
+        )
+    for phase, rows in (report.get("profile") or {}).items():
+        lines.append("")
+        lines.append(
+            f"profile [{phase}]  {'calls':>9} {'tottime':>8} {'cumtime':>8}"
+        )
+        for row in rows:
+            lines.append(
+                f"  {row['func']:<48} {row['calls']:>7} "
+                f"{row['tottime']:>8.3f} {row['cumtime']:>8.3f}"
+            )
     return "\n".join(lines)
 
 

@@ -1,4 +1,4 @@
-"""``ProcessPoolExecutor`` fan-out over independent simulation points.
+"""Fan-out over independent simulation points (engine-backed).
 
 Every simulation point (scheme, workload, records, seed, config) is fully
 self-contained: the simulator derives all randomness from the point's own
@@ -7,18 +7,19 @@ exact numbers a serial loop would.  :func:`fanout` exploits that — results
 come back in *input order* regardless of completion order, so callers are
 deterministic for any ``--jobs`` value.
 
-Workers are module-level functions (picklable); with ``jobs <= 1`` or a
-single point everything runs in-process, which keeps the serial path free
-of multiprocessing overhead and trivially debuggable.
+Since PR 3 the actual execution lives in :mod:`repro.perf.engine`: a
+persistent warm worker pool with a cross-run artifact cache and
+straggler-aware (longest-expected-first) dispatch.  This module keeps the
+stable point/result types and the thin entry points the rest of the repo
+imports; ``fanout_map`` remains the generic order-preserving map for
+callers that bring their own worker function.
 """
 
 from __future__ import annotations
 
 import os
-import time
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
 
 from ..config import SystemConfig
 from ..sim.results import SimulationResult
@@ -45,11 +46,18 @@ class SimPoint:
 
 @dataclass
 class PointResult:
-    """A finished point: the simulation result plus its wall-clock cost."""
+    """A finished point: the simulation result plus its wall-clock cost.
+
+    ``engine_counters`` holds the ``engine.*`` artifact-cache deltas this
+    point observed in its worker (empty when run without the engine);
+    simulation counters live in ``result.counters`` and never include
+    them, keeping results bit-identical to the serial loop.
+    """
 
     point: SimPoint
     result: SimulationResult
     wall_s: float
+    engine_counters: Dict[str, int] = field(default_factory=dict)
 
 
 def _run_point(point: SimPoint) -> PointResult:
@@ -79,25 +87,25 @@ def fanout_map(
 ) -> List[R]:
     """Map a picklable worker over items, preserving input order.
 
-    With ``jobs <= 1`` (or one item) this is a plain in-process loop.
+    With ``jobs <= 1`` (or one item) this is a plain in-process loop;
+    otherwise the items go through the warm pool in
+    :func:`repro.perf.engine.engine_map`.
     """
-    items = list(items)
-    if jobs <= 1 or len(items) <= 1:
-        return [worker(item) for item in items]
-    workers = min(jobs, len(items))
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(worker, items))
+    from .engine import engine_map
+
+    return engine_map(worker, items, jobs=jobs)
 
 
 def fanout(points: Sequence[SimPoint], jobs: int = 1) -> List[PointResult]:
     """Run simulation points, parallel across processes, in input order."""
-    return fanout_map(_run_point, points, jobs)
+    results, _ = run_points(points, jobs=jobs)
+    return results
 
 
 def run_points(
     points: Sequence[SimPoint], jobs: int = 1
 ) -> Tuple[List[PointResult], float]:
-    """:func:`fanout` plus the overall suite wall time."""
-    start = time.perf_counter()
-    results = fanout(points, jobs)
-    return results, time.perf_counter() - start
+    """Engine-backed point execution plus the overall suite wall time."""
+    from .engine import run_points as engine_run_points
+
+    return engine_run_points(points, jobs=jobs)

@@ -170,6 +170,21 @@ RHO_MAIN_REINSERTS = "rho.main_reinserts"
 RHO_MAIN_ACCESSES = "rho.main_accesses"
 RHO_EXTRACTIONS = "rho.extractions"
 
+# -- engine: warm-pool execution engine + artifact cache ----------------------
+ENGINE_LAYOUT_HITS = "engine.layout_hits"
+ENGINE_LAYOUT_MISSES = "engine.layout_misses"
+ENGINE_TRIPLES_HITS = "engine.triples_hits"
+ENGINE_TRIPLES_MISSES = "engine.triples_misses"
+ENGINE_TRIPLES_DISK_HITS = "engine.triples_disk_hits"
+ENGINE_TRACE_HITS = "engine.trace_hits"
+ENGINE_TRACE_MISSES = "engine.trace_misses"
+ENGINE_TRACE_DISK_HITS = "engine.trace_disk_hits"
+ENGINE_ZSEARCH_HITS = "engine.zsearch_hits"
+ENGINE_ZSEARCH_MISSES = "engine.zsearch_misses"
+ENGINE_POOL_STARTS = "engine.pool_starts"
+ENGINE_POOL_REUSES = "engine.pool_reuses"
+ENGINE_TASKS = "engine.tasks"
+
 # -- integrity: the Merkle-style integrity checker ----------------------------
 INTEGRITY_PATH_UPDATES = "integrity.path_updates"
 INTEGRITY_PATH_VERIFICATIONS = "integrity.path_verifications"

@@ -27,6 +27,16 @@ class TestDecompose:
         b = dram.decompose(cfg.row_blocks - 1)
         assert a == b
 
+    def test_decompose_delegates_to_batch(self, dram):
+        # decompose and decompose_batch share one arithmetic: the scalar
+        # (channel, bank, row) must match the flat triple for any address.
+        cfg = dram.config
+        for phys in (0, 1, 63, 64, 1000, 123457):
+            channel, bank, row = dram.decompose(phys)
+            flat = dram.decompose_batch([phys])
+            assert flat == [channel * cfg.banks_per_channel + bank,
+                            channel, row]
+
 
 class TestTiming:
     def test_single_access_latency(self, dram):
@@ -101,6 +111,52 @@ class TestTiming:
         dram.service_batch(batch, 0)
         assert dram.stats.get("dram.reads") == 1
         assert dram.stats.get("dram.writes") == 1
+
+    def test_mixed_batch_counters_match_per_access(self, dram):
+        # 3 reads, 2 writes, 1 read: grouped into maximal runs, yet the
+        # per-direction counters must equal a per-access loop's.
+        batch = [
+            MemAccess(0, False), MemAccess(1, False), MemAccess(2, False),
+            MemAccess(64, True), MemAccess(65, True),
+            MemAccess(3, False),
+        ]
+        dram.service_batch(batch, 0)
+        assert dram.stats.get("dram.reads") == 4
+        assert dram.stats.get("dram.writes") == 2
+        assert dram.stats.get("dram.accesses") == 6
+
+        reference = DRAMModel(dram.config)
+        finish = 0
+        for access in batch:
+            finish = reference.service_batch([access], finish)
+        assert reference.stats.get("dram.reads") == 4
+        assert reference.stats.get("dram.writes") == 2
+
+    def test_mixed_batch_runs_pipeline(self, dram):
+        # Same-direction runs keep the batch path's bank/bus pipelining,
+        # so a grouped mixed batch never finishes later than servicing
+        # every access as its own one-element batch.
+        batch = [MemAccess(addr, False) for addr in range(4)]
+        batch += [MemAccess(64 + addr, True) for addr in range(4)]
+        grouped_finish = dram.service_batch(batch, 0)
+
+        reference = DRAMModel(dram.config)
+        finish = 0
+        for access in batch:
+            finish = reference.service_batch([access], finish)
+        assert grouped_finish <= finish
+        # The 4-read run gets 3 row hits and the 4-write run 3 more; the
+        # one-by-one loop would see the same rows but pay bus turnaround
+        # sequencing per element.  Row-hit counts still agree.
+        assert dram.stats.get("dram.row_hits") == reference.stats.get(
+            "dram.row_hits"
+        )
+
+    def test_single_direction_batch_unchanged_by_mixed_path(self, dram):
+        # A pure batch must not take the run-splitting path.
+        finish = dram.service_batch(batch_from_addresses([0, 1, 2], False), 0)
+        reference = DRAMModel(dram.config)
+        assert finish == reference.service_addresses([0, 1, 2], False, 0)
 
     def test_reset_state_preserves_counters(self, dram):
         dram.service_addresses([0, 1], False, 0)
