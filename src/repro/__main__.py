@@ -10,6 +10,7 @@ inspect     Summarize a JSONL event trace written by ``--trace-out``.
 schemes     List available schemes.
 workloads   List available workloads.
 zsearch     Run the IR-Alloc greedy Z-search on a given tree geometry.
+validate    Conformance suite: golden corpus, lockstep oracle, fuzzer.
 
 Every simulating command shares the same platform flags (``--config``,
 ``--levels``, ``--records``, ``--seed``, ``--jobs``) and builds its runs
@@ -291,6 +292,10 @@ def build_parser() -> argparse.ArgumentParser:
     zs_p.add_argument("--max-space-reduction", type=float, default=0.03)
     zs_p.add_argument("--max-eviction-increase", type=float, default=0.15)
     zs_p.set_defaults(func=cmd_zsearch)
+
+    from .validate import cli as validate_cli
+
+    validate_cli.add_parser(sub)
     return parser
 
 

@@ -25,6 +25,7 @@ cycle- and counter-bit-identical to untraced ones (see
 
 from __future__ import annotations
 
+import os
 import random
 import time
 from dataclasses import dataclass, replace
@@ -56,6 +57,15 @@ class ObsOptions:
     ``callback`` receives every event live; ``progress_every`` emits a
     progress snapshot every N issued paths; ``metrics_out`` writes the
     final :class:`~repro.stats.Stats` registry as JSON.
+
+    ``audit`` attaches the online
+    :class:`~repro.validate.invariants.InvariantAuditor`, sweeping the
+    protocol invariants every ``audit_every`` issued paths (0 = the
+    auditor's default cadence).  The ``REPRO_AUDIT`` environment knob
+    overrides both for every run in the process: unset/``0`` off, ``1``
+    on at the default cadence, any larger integer on at that cadence.
+    Audited runs stay cycle- and counter-bit-identical to unaudited
+    ones; a violation raises :class:`~repro.errors.AuditError`.
     """
 
     trace_out: Optional[str] = None
@@ -63,6 +73,8 @@ class ObsOptions:
     ring_size: int = 0
     progress_every: int = 0
     callback: Optional[Callable[[TraceEvent], None]] = None
+    audit: bool = False
+    audit_every: int = 0
 
     @property
     def tracing(self) -> bool:
@@ -160,6 +172,24 @@ class RunResult:
         return self.stats.to_prometheus_text(prefix=prefix)
 
 
+def _audit_options(obs: ObsOptions):
+    """Resolve the audit request: ``(enabled, cadence-or-None)``.
+
+    ``REPRO_AUDIT`` wins over the spec so CI (and the warm-pool workers,
+    which re-read the environment) can force auditing on without touching
+    call sites: unset/``"0"``/``""`` defers to the spec, ``"1"`` enables
+    at the default cadence, ``N > 1`` enables at cadence ``N``.
+    """
+    raw = os.environ.get("REPRO_AUDIT", "").strip()
+    if raw and raw != "0":
+        try:
+            value = int(raw)
+        except ValueError:
+            value = 1
+        return True, (value if value > 1 else None)
+    return obs.audit, (obs.audit_every or None)
+
+
 def _build_tracer(obs: ObsOptions) -> Optional[Tracer]:
     if not obs.tracing:
         return None
@@ -208,10 +238,22 @@ def run(spec: RunSpec, artifacts=None) -> RunResult:
     components = build_scheme(spec.scheme, config, stats, random.Random(spec.seed))
     if artifacts is not None:
         artifacts.attach(components.controller)
+    audit, audit_every = _audit_options(spec.obs)
+    auditor = None
+    if audit:
+        from .validate.invariants import attach_auditor
+
+        auditor = attach_auditor(
+            components,
+            every=audit_every,
+            check_rate=config.oram.timing_protection,
+        )
     try:
         result = Simulator(components, trace).run(
             utilization_snapshots=spec.utilization_snapshots
         )
+        if auditor is not None:
+            auditor.final_check(result)
     finally:
         if tracer is not None:
             tracer.close()

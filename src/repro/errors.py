@@ -25,3 +25,15 @@ class StashOverflowError(ProtocolError):
 
 class TraceError(ReproError):
     """A memory trace is malformed or exhausted unexpectedly."""
+
+
+class AuditError(ReproError):
+    """A conformance invariant failed during an audited run.
+
+    Raised by :mod:`repro.validate` — the online invariant auditor, the
+    differential oracle, and the golden-corpus checker — when the
+    simulator's observable state stops being a Path ORAM (block lost or
+    duplicated, residency broken, stash bound exceeded, timing-channel
+    rate violated, Merkle root unstable, or cycle attribution not summing
+    to the run's cycles).
+    """

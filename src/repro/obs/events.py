@@ -34,6 +34,8 @@ POSMAP_FETCH = "posmap.fetch"
 LLC_MISS = "llc.miss"
 #: periodic progress snapshot (payload: paths, stash, in flight)
 PROGRESS = "progress"
+#: one online conformance audit completed (payload: audits, paths, blocks)
+AUDIT = "audit"
 
 #: every kind above, in a stable documentation order
 ALL_KINDS = (
@@ -48,6 +50,7 @@ ALL_KINDS = (
     POSMAP_FETCH,
     LLC_MISS,
     PROGRESS,
+    AUDIT,
 )
 
 

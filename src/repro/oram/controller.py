@@ -116,6 +116,10 @@ class PathORAMController:
         self.dwb = None
         #: optional security observer receiving PathAccessRecord objects
         self.observer: Optional[Callable[[PathAccessRecord], None]] = None
+        #: optional conformance hook receiving every non-``None``
+        #: :class:`SlotResult` (see :mod:`repro.validate`); must be
+        #: read-only with respect to controller state, counters, and RNG
+        self.slot_observer: Optional[Callable[[SlotResult], None]] = None
         #: when True, classify write-phase placements for Fig. 5
         self.track_migration = False
 
@@ -222,9 +226,8 @@ class PathORAMController:
 
         if result is not None:
             result.completions = completions + result.completions
-            return result
-        if completions:
-            return SlotResult(
+        elif completions:
+            result = SlotResult(
                 issued_path=False,
                 path_type=None,
                 start=now,
@@ -232,7 +235,12 @@ class PathORAMController:
                 finish_write=now,
                 completions=completions,
             )
-        return None
+        else:
+            return None
+        observer = self.slot_observer
+        if observer is not None:
+            observer(result)
+        return result
 
     def _issue_priority_path(self, now: int) -> Optional[SlotResult]:
         if self.internal_queue:

@@ -9,7 +9,7 @@ through another full ORAM access, which the controller performs.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from .. import stats_keys as sk
 from ..cache.cache import EvictedLine, SetAssocCache
@@ -49,6 +49,11 @@ class PLB:
     def contains(self, posmap_block: int) -> bool:
         """Presence check with no statistics or LRU side effects."""
         return self._cache.probe(posmap_block)
+
+    def contents(self) -> Dict[int, bool]:
+        """``{posmap_block: dirty}`` for every resident line (no side
+        effects; used by the conformance auditor and flush logic)."""
+        return self._cache.contents()
 
     def fill(self, posmap_block: int, dirty: bool = False) -> Optional[EvictedLine]:
         """Install a PosMap block fetched through the ORAM.

@@ -134,10 +134,14 @@ class RhoController(PathORAMController):
             self._pattern_pos += 1
         if result is not None:
             result.completions = completions + result.completions
-            return result
-        if completions:
-            return SlotResult(False, None, now, now, now, completions)
-        return None
+        elif completions:
+            result = SlotResult(False, None, now, now, now, completions)
+        else:
+            return None
+        observer = self.slot_observer
+        if observer is not None:
+            observer(result)
+        return result
 
     # ------------------------------------------------------------------
     # instant servicing additions

@@ -94,6 +94,26 @@ class ORAMTree:
             position = self.path_position(leaf, level)
             yield level, position, self.bucket(level, position)
 
+    def iter_buckets(self) -> Iterable[Tuple[int, int, List[int]]]:
+        """Yield ``(level, position, slots)`` for every materialized bucket.
+
+        A bucket that was never touched holds no real blocks, so this
+        covers every resident block without materializing the rest of the
+        tree — safe at paper scale (L=25), where the conformance auditor
+        sweeps the tree during live runs.
+        """
+        if self._dense:
+            entries: Iterable[Tuple[int, List[int]]] = (
+                (index, slots)
+                for index, slots in enumerate(self._buckets)
+                if slots is not None
+            )
+        else:
+            entries = self._sparse.items()
+        for index, slots in entries:
+            level = (index + 1).bit_length() - 1
+            yield level, index - ((1 << level) - 1), slots
+
     def deepest_common_level(self, leaf_a: int, leaf_b: int) -> int:
         """Deepest level shared by the paths to two leaves (0 = root only)."""
         xor = leaf_a ^ leaf_b

@@ -468,6 +468,7 @@ def _worker_init() -> None:
     import repro.core.schemes  # noqa: F401  (imports the scheme zoo)
     import repro.sim.simulator  # noqa: F401
     import repro.traces.benchmarks  # noqa: F401
+    import repro.validate  # noqa: F401  (auditor, for REPRO_AUDIT runs)
 
     get_cache()  # registers the atexit flush for this worker
 

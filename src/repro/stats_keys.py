@@ -185,6 +185,13 @@ ENGINE_POOL_STARTS = "engine.pool_starts"
 ENGINE_POOL_REUSES = "engine.pool_reuses"
 ENGINE_TASKS = "engine.tasks"
 
+# -- audit: the online conformance auditor (repro.validate) -------------------
+# These keys live in the auditor's *private* Stats registry, never in the
+# run's own — audited runs stay counter-bit-identical to unaudited ones.
+AUDIT_CHECKS = "audit.checks"
+AUDIT_PATHS_OBSERVED = "audit.paths_observed"
+AUDIT_BLOCKS_VERIFIED = "audit.blocks_verified"
+
 # -- integrity: the Merkle-style integrity checker ----------------------------
 INTEGRITY_PATH_UPDATES = "integrity.path_updates"
 INTEGRITY_PATH_VERIFICATIONS = "integrity.path_verifications"

@@ -1,0 +1,39 @@
+"""Conformance subsystem: online invariant auditing, differential
+oracles, the golden-run corpus, and a seed-replayable fuzzer.
+
+Three pillars (see ``docs/validation.md``):
+
+- :class:`InvariantAuditor` / :func:`attach_auditor` — online protocol
+  invariant sweeps riding the controller's slot observer hook, bit-
+  identical to unaudited runs (enable per run via
+  ``ObsOptions(audit=True)`` or globally via ``REPRO_AUDIT``).
+- :mod:`repro.validate.oracle` — the functional reference model run
+  lockstep against every scheme, plus serial-vs-parallel engine
+  equivalence.
+- :mod:`repro.validate.golden` + :mod:`repro.validate.fuzz` — the
+  committed golden corpus and the shrinking fuzzer behind
+  ``repro validate --check/--regen/--fuzz``.
+"""
+
+from ..errors import AuditError
+from .invariants import DEFAULT_CADENCE, AuditReport, InvariantAuditor, attach_auditor
+from .oracle import (
+    ReferenceORAM,
+    drive_lockstep,
+    engine_equivalence,
+    generate_ops,
+    zoo_lockstep,
+)
+
+__all__ = [
+    "AuditError",
+    "AuditReport",
+    "DEFAULT_CADENCE",
+    "InvariantAuditor",
+    "attach_auditor",
+    "ReferenceORAM",
+    "drive_lockstep",
+    "engine_equivalence",
+    "generate_ops",
+    "zoo_lockstep",
+]

@@ -1,0 +1,156 @@
+"""``repro validate`` — the conformance suite's command-line face.
+
+``--check`` (the default) replays the golden matrix with the online
+auditor attached and diffs it against the committed corpus, then runs
+the lockstep differential oracle across the scheme zoo; with
+``--jobs > 1`` it also proves serial/parallel engine equivalence.
+``--regen`` rewrites the golden corpus; ``--fuzz N`` runs the
+seed-replayable fuzzer (``--inject-faults`` turns on the auditor
+self-test mode); ``--replay FILE`` reproduces a persisted failure
+artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..errors import ReproError
+from . import fuzz as fuzz_mod
+from . import golden, oracle
+
+
+def add_parser(sub) -> None:
+    parser = sub.add_parser(
+        "validate",
+        help="conformance suite: golden corpus, lockstep oracle, fuzzer",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="golden diff + lockstep oracle (default action)",
+    )
+    parser.add_argument(
+        "--regen", action="store_true",
+        help="re-run the golden matrix and rewrite the corpus file",
+    )
+    parser.add_argument(
+        "--fuzz", type=int, default=0, metavar="N",
+        help="run N seed-replayable fuzz cases",
+    )
+    parser.add_argument(
+        "--inject-faults", action="store_true",
+        help="fuzz with mid-run corruptions (auditor self-test)",
+    )
+    parser.add_argument(
+        "--replay", default=None, metavar="FILE",
+        help="reproduce a persisted fuzz failure artifact",
+    )
+    parser.add_argument(
+        "--golden", default=golden.DEFAULT_PATH, metavar="FILE",
+        help=f"golden corpus path (default {golden.DEFAULT_PATH})",
+    )
+    parser.add_argument(
+        "--artifact-dir", default=fuzz_mod.DEFAULT_ARTIFACT_DIR,
+        metavar="DIR",
+        help="where fuzz failures are persisted",
+    )
+    parser.add_argument("--seed", type=int, default=1,
+                        help="base seed for the fuzzer")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="matrix runs in parallel (also enables the "
+                             "serial-vs-parallel engine oracle)")
+    parser.set_defaults(func=run_validate)
+
+
+def _do_regen(args) -> int:
+    document = golden.snapshot(jobs=args.jobs)
+    golden.save(document, args.golden)
+    print(f"golden corpus written to {args.golden} "
+          f"({len(document['entries'])} entries, audited)")
+    return 0
+
+
+def _do_replay(args) -> int:
+    case, signature = fuzz_mod.replay(args.replay)
+    recorded = None
+    import json
+
+    with open(args.replay, "r", encoding="utf-8") as handle:
+        recorded = json.load(handle).get("signature")
+    print(f"replayed {args.replay}: scheme={case.scheme} "
+          f"seed={case.seed} ops={len(case.ops)} fault={case.fault}")
+    if signature is None:
+        print("replay did NOT reproduce a failure", file=sys.stderr)
+        return 1
+    print(f"reproduced: {signature}")
+    if recorded and not recorded.startswith("uncaught:") \
+            and signature != recorded:
+        print(f"note: signature differs from recorded {recorded!r}",
+              file=sys.stderr)
+    return 0
+
+
+def _do_fuzz(args) -> int:
+    report = fuzz_mod.fuzz(
+        args.fuzz,
+        base_seed=args.seed,
+        inject_faults=args.inject_faults,
+        artifact_dir=args.artifact_dir,
+        progress=print,
+    )
+    mode = "fault-injection" if args.inject_faults else "clean"
+    print(f"fuzz: {report.cases_run} {mode} cases, "
+          f"{len(report.failures)} failure(s)")
+    for failure in report.failures:
+        print(f"  {failure.signature}\n    -> {failure.artifact_path}",
+              file=sys.stderr)
+    return 0 if report.ok else 1
+
+
+def _do_check(args) -> int:
+    failed = False
+    try:
+        mismatches = golden.check(args.golden, jobs=args.jobs)
+    except OSError as exc:
+        print(f"cannot read golden corpus: {exc} "
+              f"(run `repro validate --regen` first)", file=sys.stderr)
+        return 1
+    if mismatches:
+        failed = True
+        print(f"golden check FAILED ({len(mismatches)} mismatches):",
+              file=sys.stderr)
+        for line in mismatches:
+            print(f"  {line}", file=sys.stderr)
+    else:
+        print(f"golden check OK ({args.golden})")
+    try:
+        results = oracle.zoo_lockstep()
+    except ReproError as exc:
+        failed = True
+        print(f"lockstep oracle FAILED: {exc}", file=sys.stderr)
+    else:
+        sample = next(iter(results.values()))
+        print(f"lockstep oracle OK ({len(results)} schemes, "
+              f"{sample.ops_applied} ops each, read digest "
+              f"{sample.read_digest()})")
+    if args.jobs > 1:
+        mismatches = oracle.engine_equivalence(jobs=args.jobs)
+        if mismatches:
+            failed = True
+            print("engine equivalence FAILED:", file=sys.stderr)
+            for line in mismatches:
+                print(f"  {line}", file=sys.stderr)
+        else:
+            print(f"engine equivalence OK (serial == --jobs {args.jobs})")
+    print("validate: FAIL" if failed else "validate: PASS")
+    return 1 if failed else 0
+
+
+def run_validate(args: argparse.Namespace) -> int:
+    if args.regen:
+        return _do_regen(args)
+    if args.replay:
+        return _do_replay(args)
+    if args.fuzz:
+        return _do_fuzz(args)
+    return _do_check(args)

@@ -1,0 +1,182 @@
+"""The golden-run corpus: committed ground truth for the scheme zoo.
+
+A golden file is a compact JSON snapshot of every scheme × workload cell
+on the tiny platform: final cycles, instructions, the exact counter
+registry, the cycle breakdown, and a content digest per entry.  The
+numbers are bit-reproducible by construction — fixed seeds, and kernels
+(C fastpath vs pure Python) that are bit-identical by design — so CI
+regenerating the matrix natively *and* with ``REPRO_FASTPATH=0`` against
+the same committed file is the fastpath-vs-pure-Python leg of the
+differential oracle.
+
+``repro validate --regen`` writes the file; ``--check`` re-runs the
+matrix (with the online auditor attached) and diffs.  Per-entry digests
+catch a corrupted or hand-edited golden file even before any simulation
+runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Dict, List, Optional
+
+SCHEMA_VERSION = 1
+GOLDEN_WORKLOADS = ("mix", "random")
+GOLDEN_RECORDS = 300
+GOLDEN_SEED = 11
+DEFAULT_PATH = os.path.join("benchmarks", "golden", "tiny.json")
+
+
+def golden_specs(audit: bool = True) -> List["object"]:
+    """One audited tiny-config spec per scheme × golden workload."""
+    from .. import api
+    from ..core.schemes import SCHEMES
+
+    obs = api.ObsOptions(audit=audit)
+    return [
+        api.RunSpec(
+            scheme=scheme,
+            workload=workload,
+            records=GOLDEN_RECORDS,
+            seed=GOLDEN_SEED,
+            config_name="tiny",
+            obs=obs,
+        )
+        for scheme in sorted(SCHEMES)
+        for workload in GOLDEN_WORKLOADS
+    ]
+
+
+def _canonical(payload: Dict) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def entry_digest(entry: Dict) -> str:
+    """Content digest of one entry (everything except the digest itself)."""
+    payload = {k: v for k, v in entry.items() if k != "digest"}
+    return hashlib.sha256(_canonical(payload).encode()).hexdigest()[:16]
+
+
+def entry_from(out) -> Dict:
+    """Snapshot one :class:`~repro.api.RunResult` as a golden entry."""
+    result = out.result
+    counters = {
+        key: int(value) if float(value).is_integer() else value
+        for key, value in sorted(result.counters.items())
+    }
+    breakdown = {}
+    if result.breakdown is not None:
+        breakdown = dict(result.breakdown.components())
+        breakdown["total"] = result.breakdown.total
+    entry = {
+        "cycles": result.cycles,
+        "instructions": result.instructions,
+        "paths": counters.get("paths.total", 0),
+        "counters": counters,
+        "breakdown": breakdown,
+    }
+    entry["digest"] = entry_digest(entry)
+    return entry
+
+
+def entry_key(spec) -> str:
+    return f"{spec.scheme}|{spec.workload}"
+
+
+def snapshot(jobs: int = 1) -> Dict:
+    """Run the audited golden matrix and return the snapshot document."""
+    from .. import api
+
+    specs = golden_specs(audit=True)
+    outs = api.run_many(specs, jobs=max(1, jobs))
+    return {
+        "schema": SCHEMA_VERSION,
+        "config": "tiny",
+        "records": GOLDEN_RECORDS,
+        "seed": GOLDEN_SEED,
+        "entries": {
+            entry_key(spec): entry_from(out)
+            for spec, out in zip(specs, outs)
+        },
+    }
+
+
+def save(document: Dict, path: str = DEFAULT_PATH) -> None:
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+
+
+def load(path: str = DEFAULT_PATH) -> Dict:
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def verify_integrity(document: Dict) -> List[str]:
+    """Check the per-entry digests of a loaded golden file (no runs)."""
+    problems: List[str] = []
+    if document.get("schema") != SCHEMA_VERSION:
+        problems.append(
+            f"schema {document.get('schema')!r} != {SCHEMA_VERSION}"
+        )
+    for key, entry in sorted(document.get("entries", {}).items()):
+        recorded = entry.get("digest")
+        actual = entry_digest(entry)
+        if recorded != actual:
+            problems.append(
+                f"{key}: golden entry corrupted "
+                f"(digest {recorded} != content {actual})"
+            )
+    return problems
+
+
+def compare(current: Dict, golden: Dict) -> List[str]:
+    """Diff a freshly run snapshot against a golden document."""
+    mismatches = list(verify_integrity(golden))
+    current_entries = current.get("entries", {})
+    golden_entries = golden.get("entries", {})
+    for key in sorted(set(current_entries) | set(golden_entries)):
+        mine = current_entries.get(key)
+        theirs = golden_entries.get(key)
+        if mine is None:
+            mismatches.append(f"{key}: in golden file but not in the zoo")
+            continue
+        if theirs is None:
+            mismatches.append(f"{key}: in the zoo but not in the golden file")
+            continue
+        if mine["digest"] == theirs.get("digest"):
+            continue
+        for field in ("cycles", "instructions", "paths"):
+            if mine.get(field) != theirs.get(field):
+                mismatches.append(
+                    f"{key}: {field} {mine.get(field)} != golden "
+                    f"{theirs.get(field)}"
+                )
+        mine_counters = mine.get("counters", {})
+        golden_counters = theirs.get("counters", {})
+        diff_keys = sorted(
+            k
+            for k in set(mine_counters) | set(golden_counters)
+            if mine_counters.get(k) != golden_counters.get(k)
+        )
+        if diff_keys:
+            shown = ", ".join(
+                f"{k}: {mine_counters.get(k)} != {golden_counters.get(k)}"
+                for k in diff_keys[:5]
+            )
+            more = "" if len(diff_keys) <= 5 else f" (+{len(diff_keys) - 5})"
+            mismatches.append(f"{key}: counters differ — {shown}{more}")
+        if mine.get("breakdown") != theirs.get("breakdown"):
+            mismatches.append(f"{key}: cycle breakdown differs")
+    return mismatches
+
+
+def check(path: str = DEFAULT_PATH, jobs: int = 1) -> List[str]:
+    """Run the matrix and diff against the golden file at ``path``."""
+    golden = load(path)
+    return compare(snapshot(jobs=jobs), golden)

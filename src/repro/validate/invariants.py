@@ -1,0 +1,436 @@
+"""The online invariant auditor: proves a live run still *is* Path ORAM.
+
+The auditor attaches to a controller's ``slot_observer`` hook and, at a
+configurable cadence (every N issued paths), sweeps the whole machine for
+the protocol invariants of the paper:
+
+* **block conservation** (§II-B): every block of the merged Freecursive
+  namespace is held by exactly one of — the tree, the stash, the PLB, the
+  PLB victim buffer, Rho's small-tree custody, or a legitimate external
+  holder (LLC-D's delayed-remap blocks living in the LLC);
+* **path residency** (§II-B): every tree-resident block sits on the path
+  of its PosMap leaf (and stash leaf tags match the PosMap);
+* **stash bounds** (§II-B, Ren et al.): occupancy and its high-water mark
+  never exceed the configured stash capacity;
+* **PosMap/PLB consistency** (Fletcher et al.): PLB and victim-buffer
+  residents are PosMap-kind blocks and — the PLB being exclusive —
+  unmapped; the victim buffer set mirrors its queue;
+* **Merkle root stability** (§II-A): when an integrity layer is attached,
+  the stored hash tree still authenticates against the trusted on-chip
+  root (one rotating path is re-verified end to end, silently);
+* **timing-channel rate** (Fletcher et al., §II-B): consecutive issued
+  paths start at least ``issue_interval`` cycles apart (only meaningful
+  under the :class:`~repro.sim.simulator.Simulator` clock — direct-drive
+  harnesses disable it);
+* **S-Stash mirror** (IR-Stash, §IV-C): the address index of the tree-top
+  structure matches actual top-level residency.
+
+Bit-identity contract: the auditor never touches the controller's RNG,
+never mutates model state, and records its own bookkeeping in a *private*
+:class:`~repro.stats.Stats` registry, so an audited run's cycles and
+counters are bit-identical to an unaudited run's (asserted by
+``tests/test_validate.py``).  Violations raise
+:class:`~repro.errors.AuditError` immediately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Set
+
+from .. import stats_keys as sk
+from ..errors import AuditError
+from ..obs import events as ev
+from ..oram.controller import PathORAMController, SlotResult
+from ..oram.integrity import IntegrityError
+from ..oram.tree import EMPTY
+from ..oram.types import BlockKind
+from ..stats import Stats
+
+#: issued paths between full sweeps when no cadence is given
+DEFAULT_CADENCE = 64
+
+
+@dataclass
+class AuditReport:
+    """Summary of what one auditor has checked so far."""
+
+    audits: int
+    paths_observed: int
+    blocks_verified: int
+
+
+class InvariantAuditor:
+    """Online conformance auditor for one controller (see module docs).
+
+    ``every``: issued paths between full sweeps.  ``check_rate`` enables
+    the timing-channel spacing check — only valid when the Simulator owns
+    the clock, so it defaults to off and :func:`repro.api.run` turns it on.
+    ``check_integrity`` spot-verifies the Merkle layer when one is
+    attached.  ``llc`` (optional) lets the *final* audit require LLC-D's
+    extracted blocks to actually be LLC-resident.
+    """
+
+    def __init__(
+        self,
+        controller: PathORAMController,
+        every: Optional[int] = None,
+        check_rate: bool = False,
+        check_integrity: bool = True,
+        llc=None,
+    ) -> None:
+        self.controller = controller
+        self.every = max(1, every if every else DEFAULT_CADENCE)
+        self.check_rate = check_rate
+        self.check_integrity = check_integrity
+        self.llc = llc
+        #: private registry — never the run's own (bit-identity contract)
+        self.stats = Stats()
+        self.interval = controller.oram.issue_interval
+        self.audits = 0
+        self._paths = 0
+        self._last_start: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # the slot hook
+    # ------------------------------------------------------------------
+    def observe(self, result: SlotResult) -> None:
+        """Receive one :class:`SlotResult` (the ``slot_observer`` hook)."""
+        if not result.issued_path:
+            return
+        self._paths += 1
+        self.stats.counters[sk.AUDIT_PATHS_OBSERVED] += 1
+        if self.check_rate and self._last_start is not None:
+            gap = result.start - self._last_start
+            if gap < self.interval:
+                self._fail(
+                    f"timing-channel rate violated: consecutive paths "
+                    f"issued {gap} cycles apart (T={self.interval})"
+                )
+        self._last_start = result.start
+        if self._paths % self.every == 0:
+            self.audit_now()
+
+    # ------------------------------------------------------------------
+    # the sweep
+    # ------------------------------------------------------------------
+    def audit_now(self, strict_external: bool = False) -> AuditReport:
+        """Run one full sweep now; raise :class:`AuditError` on violation.
+
+        ``strict_external`` additionally requires every custody-less
+        unmapped user block (LLC-D) to be resident in the attached LLC —
+        valid only when no completion is in flight, i.e. at end of run.
+        """
+        self.audits += 1
+        self.stats.counters[sk.AUDIT_CHECKS] += 1
+        verified = self._check_locations(strict_external)
+        self.stats.counters[sk.AUDIT_BLOCKS_VERIFIED] += verified
+        self._check_stash_bounds()
+        self._check_queues()
+        self._check_treetop_mirror()
+        if self.check_integrity:
+            self._check_merkle()
+        tracer = self.controller.stats.tracer
+        if tracer is not None:
+            tracer.emit(
+                ev.AUDIT,
+                tracer.now,
+                audits=self.audits,
+                paths=self._paths,
+                blocks=verified,
+            )
+        return self.report()
+
+    def final_check(self, result=None) -> AuditReport:
+        """End-of-run audit: strict sweep plus result-level invariants.
+
+        With a :class:`~repro.sim.results.SimulationResult` (or anything
+        carrying ``cycles`` and ``breakdown``), also asserts the
+        CycleBreakdown sum-to-cycles invariant.
+        """
+        report = self.audit_now(strict_external=True)
+        breakdown = getattr(result, "breakdown", None)
+        if breakdown is not None:
+            total = sum(breakdown.components().values())
+            if total != breakdown.total or breakdown.total != result.cycles:
+                self._fail(
+                    f"cycle breakdown does not sum to the run's cycles: "
+                    f"components={total} total={breakdown.total} "
+                    f"cycles={result.cycles}"
+                )
+        return report
+
+    def report(self) -> AuditReport:
+        return AuditReport(
+            audits=self.audits,
+            paths_observed=self._paths,
+            blocks_verified=int(
+                self.stats.get(sk.AUDIT_BLOCKS_VERIFIED)
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # individual invariant checks
+    # ------------------------------------------------------------------
+    def _fail(self, message: str) -> None:
+        controller = self.controller
+        raise AuditError(
+            f"{message} [audit #{self.audits}, "
+            f"{controller.path_count} paths issued, "
+            f"{type(controller).__name__}]"
+        )
+
+    def _check_locations(self, strict_external: bool) -> int:
+        """Conservation + residency + PosMap/PLB consistency, one sweep."""
+        controller = self.controller
+        posmap = controller.posmap
+        namespace = controller.namespace
+        total = namespace.total_blocks
+        holder_of: Dict[int, str] = {}
+
+        def claim(block: int, holder: str) -> None:
+            if not 0 <= block < total:
+                self._fail(f"{holder} holds block {block} outside the "
+                           f"namespace [0, {total})")
+            other = holder_of.get(block)
+            if other is not None:
+                self._fail(f"block {block} held by both {other} and {holder}")
+            holder_of[block] = holder
+
+        tree = controller.tree
+        level_seen = [0] * tree.levels
+        for level, position, slots in tree.iter_buckets():
+            for block in slots:
+                if block == EMPTY:
+                    continue
+                claim(block, f"tree@L{level}")
+                level_seen[level] += 1
+                if not posmap.is_mapped(block):
+                    self._fail(f"tree-resident block {block} is unmapped")
+                leaf = posmap.leaf_of(block)
+                if tree.path_position(leaf, level) != position:
+                    self._fail(
+                        f"block {block} off its path: at (L{level}, "
+                        f"{position}) but mapped to leaf {leaf}"
+                    )
+        if level_seen != list(tree.level_used):
+            self._fail(
+                f"tree level_used counters drifted from contents: "
+                f"counted {level_seen}, recorded {list(tree.level_used)}"
+            )
+
+        for block, leaf in controller.stash.items():
+            claim(block, "stash")
+            if not posmap.is_mapped(block):
+                self._fail(f"stash-resident block {block} is unmapped")
+            if posmap.leaf_of(block) != leaf:
+                self._fail(
+                    f"stash leaf tag stale for block {block}: tagged "
+                    f"{leaf}, PosMap says {posmap.leaf_of(block)}"
+                )
+
+        for block in controller.plb.contents():
+            claim(block, "plb")
+            self._check_posmap_holder(block, "PLB")
+        for block in controller._limbo:
+            claim(block, "victim-buffer")
+            self._check_posmap_holder(block, "victim buffer")
+
+        self._claim_rho_holders(claim)
+
+        missing_ok = controller.delayed_remap
+        for block in range(total):
+            holder = holder_of.get(block)
+            if holder is not None:
+                continue
+            if posmap.is_mapped(block):
+                self._fail(f"mapped block {block} has no holder")
+            if namespace.kind_of(block) is not BlockKind.USER:
+                self._fail(f"PosMap block {block} vanished "
+                           f"(unmapped with no holder)")
+            if not missing_ok:
+                self._fail(f"user block {block} vanished "
+                           f"(unmapped with no holder)")
+            if (
+                strict_external
+                and controller.delayed_remap
+                and self.llc is not None
+                and not self.llc.probe(block)
+            ):
+                self._fail(
+                    f"delayed-remap block {block} neither ORAM-held "
+                    f"nor LLC-resident at end of run"
+                )
+        return total
+
+    def _check_posmap_holder(self, block: int, holder: str) -> None:
+        controller = self.controller
+        if controller.namespace.kind_of(block) is BlockKind.USER:
+            self._fail(f"user block {block} resident in the {holder}")
+        if controller.posmap.is_mapped(block):
+            self._fail(
+                f"{holder}-resident block {block} still mapped "
+                f"(the PLB is exclusive)"
+            )
+
+    def _rho_custody(self):
+        """Rho's small-tree position map, when the controller is a Rho."""
+        return getattr(self.controller, "small_map", None)
+
+    def _claim_rho_holders(self, claim) -> None:
+        small_map = self._rho_custody()
+        if small_map is None:
+            return
+        controller = self.controller
+        posmap = controller.posmap
+        small_tree = controller.small_tree
+        tree_resident: Set[int] = set()
+        for level, position, slots in small_tree.iter_buckets():
+            for block in slots:
+                if block == EMPTY:
+                    continue
+                claim(block, f"small-tree@L{level}")
+                tree_resident.add(block)
+                leaf = small_map.get(block)
+                if leaf is None:
+                    self._fail(
+                        f"small-tree-resident block {block} missing from "
+                        f"the small map"
+                    )
+                if small_tree.path_position(leaf, level) != position:
+                    self._fail(
+                        f"block {block} off its small-tree path: at "
+                        f"(L{level}, {position}) but mapped to leaf {leaf}"
+                    )
+        for block, leaf in controller.small_stash.items():
+            claim(block, "small-stash")
+            if small_map.get(block) != leaf:
+                self._fail(
+                    f"small-stash leaf tag for block {block} disagrees "
+                    f"with the small map"
+                )
+        for block in controller._pending_main_insert:
+            claim(block, "pending-main-insert")
+            if posmap.is_mapped(block):
+                self._fail(
+                    f"pending-main-insert block {block} already mapped"
+                )
+        for block in small_map:
+            if posmap.is_mapped(block):
+                self._fail(
+                    f"small-custody block {block} still mapped in the "
+                    f"main PosMap (promotion must be exclusive)"
+                )
+            if block not in tree_resident and block not in controller.small_stash:
+                self._fail(
+                    f"small-custody block {block} in neither the small "
+                    f"tree nor the small stash"
+                )
+
+    def _check_stash_bounds(self) -> None:
+        controller = self.controller
+        capacity = controller.oram.stash_capacity
+        stash = controller.stash
+        if len(stash) > capacity or stash.peak_occupancy > capacity:
+            self._fail(
+                f"stash bound exceeded: occupancy {len(stash)}, "
+                f"high-water {stash.peak_occupancy}, capacity {capacity}"
+            )
+        small = getattr(controller, "small_stash", None)
+        if small is not None:
+            small_cap = controller.small_oram.stash_capacity
+            if len(small) > small_cap or small.peak_occupancy > small_cap:
+                self._fail(
+                    f"small-stash bound exceeded: occupancy {len(small)}, "
+                    f"high-water {small.peak_occupancy}, "
+                    f"capacity {small_cap}"
+                )
+
+    def _check_queues(self) -> None:
+        controller = self.controller
+        if set(controller.internal_queue) != controller._limbo:
+            self._fail(
+                "victim-buffer set and queue diverged: "
+                f"queue={sorted(set(controller.internal_queue))} "
+                f"set={sorted(controller._limbo)}"
+            )
+        small_map = self._rho_custody()
+        if small_map is None:
+            return
+        if set(controller.main_insert_queue) != controller._pending_main_insert:
+            self._fail("Rho main-insert queue and pending set diverged")
+        if not controller._evicting <= set(small_map):
+            self._fail(
+                "Rho eviction set references blocks outside the small map"
+            )
+
+    def _check_treetop_mirror(self) -> None:
+        """IR-Stash: the S-Stash address index mirrors top-level residency."""
+        controller = self.controller
+        mirror = getattr(controller.treetop, "_resident", None)
+        if mirror is None:
+            return
+        top = controller.oram.top_cached_levels
+        actual: Set[int] = set()
+        for level, _, slots in controller.tree.iter_buckets():
+            if level >= top:
+                continue
+            for block in slots:
+                if block != EMPTY:
+                    actual.add(block)
+        if actual != set(mirror):
+            extra = sorted(set(mirror) - actual)[:5]
+            missing = sorted(actual - set(mirror))[:5]
+            self._fail(
+                f"S-Stash mirror diverged from top-level residency "
+                f"(extra={extra}, missing={missing})"
+            )
+
+    def _check_merkle(self) -> None:
+        integrity = getattr(self.controller, "integrity", None)
+        if integrity is None:
+            return
+        if integrity.compute_hash(0, 0) != integrity.root:
+            self._fail(
+                "Merkle root unstable: stored hash tree no longer "
+                "authenticates against the trusted on-chip root"
+            )
+        leaf = self.audits % self.controller.oram.leaves
+        try:
+            integrity.verify_path(leaf, count=False)
+        except IntegrityError as exc:
+            self._fail(f"Merkle spot verification failed: {exc}")
+
+
+def attach_auditor(
+    target,
+    every: Optional[int] = None,
+    check_rate: bool = False,
+    check_integrity: bool = True,
+) -> InvariantAuditor:
+    """Attach an :class:`InvariantAuditor` to a run.
+
+    ``target`` is a controller or a
+    :class:`~repro.core.schemes.SimComponents` (whose LLC then backs the
+    strict end-of-run external check).  An existing ``slot_observer`` is
+    chained, not replaced.
+    """
+    controller = getattr(target, "controller", target)
+    llc = getattr(target, "llc", None)
+    auditor = InvariantAuditor(
+        controller,
+        every=every,
+        check_rate=check_rate,
+        check_integrity=check_integrity,
+        llc=llc,
+    )
+    previous = controller.slot_observer
+    if previous is None:
+        controller.slot_observer = auditor.observe
+    else:
+        def chained(result, _prev=previous, _next=auditor.observe):
+            _prev(result)
+            _next(result)
+
+        controller.slot_observer = chained
+    return auditor

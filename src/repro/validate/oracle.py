@@ -1,0 +1,287 @@
+"""Differential oracle: a functional ORAM reference model run lockstep.
+
+The reference model is deliberately tiny: a dictionary over the user
+namespace where a read returns the last value written.  Driving it
+lockstep against a real scheme proves the *functional* contract — every
+request is served, no block is lost or duplicated while serving it — with
+the :class:`~repro.validate.invariants.InvariantAuditor` sweeping the
+physical machine after every operation.  Blocks that legitimately leave
+the ORAM (LLC-D's delayed remapping) are served by an LLC surrogate with
+the same last-value semantics, so the *same* operation stream applies to
+every scheme in the zoo and their read sequences must agree bit for bit.
+
+A second oracle axis goes through the warm-pool engine
+(:func:`engine_equivalence`): the same specs run serially and with
+``--jobs > 1`` must produce identical cycles and counters.  Combined with
+CI running the golden check both natively and with ``REPRO_FASTPATH=0``,
+this covers the cross-jobs and fastpath-vs-pure-Python legs of the
+differential oracle.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..config import SystemConfig
+from ..errors import AuditError
+from ..oram.types import Request, RequestKind
+from ..stats import Stats
+from .invariants import attach_auditor
+
+#: controller steps allowed per request before the oracle declares livelock
+STEP_GUARD = 400
+
+#: one operation: ("access" | "idle", block seed, is_write)
+Op = Tuple[str, int, bool]
+
+
+class ReferenceORAM:
+    """Functional reference: read returns the last value written.
+
+    Values are operation sequence numbers, not payloads — the simulator
+    carries block IDs only, so the oracle tracks *which write* each read
+    must observe rather than bytes.
+    """
+
+    def __init__(self) -> None:
+        self._values: Dict[int, int] = {}
+
+    def write(self, block: int, value: int) -> None:
+        self._values[block] = value
+
+    def read(self, block: int) -> int:
+        return self._values.get(block, 0)
+
+    def state(self) -> Dict[int, int]:
+        return dict(self._values)
+
+
+@dataclass
+class LockstepResult:
+    """One scheme's transcript of a lockstep drive."""
+
+    scheme: str
+    ops_applied: int
+    served: int
+    onchip: int
+    paths: int
+    audits: int
+    reads: List[Tuple[int, int]] = field(default_factory=list)
+
+    def read_digest(self) -> str:
+        payload = repr(self.reads).encode()
+        return hashlib.sha256(payload).hexdigest()[:16]
+
+
+def generate_ops(
+    count: int, user_blocks: int, seed: int, idle_fraction: float = 0.2
+) -> List[Op]:
+    """A deterministic random operation stream over a user namespace."""
+    rng = random.Random(seed)
+    ops: List[Op] = []
+    for _ in range(count):
+        if rng.random() < idle_fraction:
+            ops.append(("idle", 0, False))
+        else:
+            ops.append(
+                ("access", rng.randrange(user_blocks), rng.random() < 0.4)
+            )
+    return ops
+
+
+def drive_lockstep(
+    scheme: str,
+    ops: Sequence[Op],
+    config: Optional[SystemConfig] = None,
+    seed: int = 7,
+    audit_every: int = 4,
+    fault=None,
+) -> LockstepResult:
+    """Drive one scheme through ``ops`` lockstep with the reference model.
+
+    Raises :class:`AuditError` when the physical machine diverges: an
+    invariant sweep fails, a request never completes, or a completed read
+    would observe a value other than the reference's.  ``fault`` is an
+    optional ``(after_op_index, callable)`` used by the fuzzer's
+    fault-injection mode to corrupt the controller mid-run.
+    """
+    from ..core.schemes import build_scheme
+
+    config = config if config is not None else SystemConfig.tiny()
+    components = build_scheme(scheme, config, Stats(), random.Random(seed))
+    controller = components.controller
+    # Attached to the bare controller (not the components): the lockstep
+    # driver bypasses the LLC, so extracted LLC-D blocks live in the
+    # surrogate `outside` set rather than the real LLC, and the strict
+    # end-of-run LLC-residency check must stay disabled.
+    auditor = attach_auditor(
+        controller, every=max(1, audit_every), check_rate=False
+    )
+    reference = ReferenceORAM()
+    shadow: Dict[int, int] = {}
+    outside: set = set()  # blocks extracted to the LLC surrogate (LLC-D)
+    user = controller.namespace.user_blocks
+    transcript = LockstepResult(scheme=scheme, ops_applied=0, served=0,
+                                onchip=0, paths=0, audits=0)
+    now = 0
+    for index, (kind, block_seed, is_write) in enumerate(ops):
+        if fault is not None and index == fault[0]:
+            fault[1](controller)
+            # Sweep at the injection point: the auditor must flag the
+            # corruption before the machine trips over it.
+            auditor.audit_now()
+        transcript.ops_applied += 1
+        value = index + 1
+        if kind == "idle":
+            result = controller.step(now, allow_dummy=True)
+            if result is not None:
+                now = max(now + 1, result.finish_write)
+            continue
+        block = block_seed % user
+        if block in outside:
+            # LLC surrogate: the block lives outside the ORAM by design.
+            transcript.onchip += 1
+            if is_write:
+                reference.write(block, value)
+                shadow[block] = value
+            else:
+                got = shadow.get(block, 0)
+                if got != reference.read(block):
+                    raise AuditError(
+                        f"{scheme}: LLC surrogate read of block {block} "
+                        f"saw {got}, reference says {reference.read(block)}"
+                    )
+                transcript.reads.append((block, got))
+            continue
+        request = Request(
+            block=block, kind=RequestKind.READ, arrival=now,
+            is_write=is_write,
+        )
+        controller.enqueue(request)
+        guard = 0
+        while request.completion is None:
+            if guard >= STEP_GUARD:
+                raise AuditError(
+                    f"{scheme}: request for block {block} (op {index}) "
+                    f"not served within {STEP_GUARD} controller steps"
+                )
+            result = controller.step(now, allow_dummy=False)
+            if result is None:
+                now += 1
+            else:
+                now = max(now + 1, result.finish_write)
+            guard += 1
+        transcript.served += 1
+        if is_write:
+            reference.write(block, value)
+            shadow[block] = value
+        else:
+            got = shadow.get(block, 0)
+            if got != reference.read(block):
+                raise AuditError(
+                    f"{scheme}: read of block {block} observed write "
+                    f"{got}, reference expected {reference.read(block)}"
+                )
+            transcript.reads.append((block, got))
+        if controller.delayed_remap:
+            outside.add(block)
+        auditor.audit_now()
+    auditor.final_check()
+    transcript.paths = controller.path_count
+    transcript.audits = auditor.audits
+    return transcript
+
+
+def zoo_lockstep(
+    schemes: Optional[Sequence[str]] = None,
+    ops_count: int = 80,
+    seed: int = 3,
+    config: Optional[SystemConfig] = None,
+    audit_every: int = 4,
+) -> Dict[str, LockstepResult]:
+    """Run the lockstep oracle against every scheme in the zoo.
+
+    Every scheme consumes the identical operation stream, so their read
+    transcripts must agree exactly; a divergence raises
+    :class:`AuditError` naming the schemes and the first differing read.
+    """
+    from ..core.schemes import SCHEMES
+
+    names = list(schemes) if schemes is not None else sorted(SCHEMES)
+    config = config if config is not None else SystemConfig.tiny()
+    user = config.oram.user_blocks
+    ops = generate_ops(ops_count, user, seed)
+    results = {
+        name: drive_lockstep(
+            name, ops, config=config, seed=seed, audit_every=audit_every
+        )
+        for name in names
+    }
+    first_name = names[0]
+    first = results[first_name]
+    for name in names[1:]:
+        other = results[name]
+        if other.reads != first.reads:
+            diff = next(
+                (
+                    (i, a, b)
+                    for i, (a, b) in enumerate(zip(first.reads, other.reads))
+                    if a != b
+                ),
+                (min(len(first.reads), len(other.reads)), None, None),
+            )
+            raise AuditError(
+                f"lockstep transcripts diverge: {first_name} vs {name} "
+                f"at read #{diff[0]} ({diff[1]} vs {diff[2]}; "
+                f"{len(first.reads)} vs {len(other.reads)} reads)"
+            )
+    return results
+
+
+def engine_equivalence(
+    schemes: Optional[Sequence[str]] = None,
+    workload: str = "mix",
+    records: int = 250,
+    seed: int = 11,
+    jobs: int = 2,
+    audit: bool = True,
+) -> List[str]:
+    """Cross-``--jobs`` oracle: serial vs warm-pool results, bit for bit.
+
+    Returns a list of mismatch descriptions (empty means equivalent).
+    Both legs route through :func:`repro.api.run_many`, so the parallel
+    leg exercises the warm-pool engine end to end.
+    """
+    from .. import api
+
+    if schemes is None:
+        from ..core.schemes import SCHEMES
+
+        schemes = sorted(SCHEMES)
+    specs = [
+        api.RunSpec(
+            scheme=scheme, workload=workload, records=records, seed=seed,
+            config_name="tiny", obs=api.ObsOptions(audit=audit),
+        )
+        for scheme in schemes
+    ]
+    serial = api.run_many(specs, jobs=1)
+    fanned = api.run_many(specs, jobs=max(2, jobs))
+    mismatches: List[str] = []
+    for spec, a, b in zip(specs, serial, fanned):
+        tag = f"{spec.scheme}/{spec.workload}"
+        if a.result.cycles != b.result.cycles:
+            mismatches.append(
+                f"{tag}: cycles {a.result.cycles} != {b.result.cycles}"
+            )
+        if a.result.counters != b.result.counters:
+            keys = sorted(
+                k
+                for k in set(a.result.counters) | set(b.result.counters)
+                if a.result.counters.get(k) != b.result.counters.get(k)
+            )
+            mismatches.append(f"{tag}: counters differ on {keys[:8]}")
+    return mismatches

@@ -1,6 +1,7 @@
-"""Unit tests for trace records, generators, mixing, and persistence."""
+"""Unit tests for trace records, generators, mixing, and persistence.
 
-import random
+Uses the per-test-deterministic ``rng`` fixture from ``conftest.py``.
+"""
 
 import pytest
 
@@ -10,11 +11,6 @@ from repro.traces.io import load_trace, save_trace
 from repro.traces.mix import benchmark_mix_with_random_tail, mix_traces, standard_mix
 from repro.traces.synthetic import random_trace, strided_trace, zipf_trace
 from repro.traces.trace import Trace, concat
-
-
-@pytest.fixture
-def rng():
-    return random.Random(42)
 
 
 class TestTrace:
