@@ -88,8 +88,32 @@ def _print_result(name: str, result, baseline=None) -> None:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
-    out = api.run(_spec(args, args.scheme))
-    _print_result(f"{args.scheme} on {args.workload}", out.result)
+    if args.resume:
+        out = api.resume_run(
+            args.resume,
+            obs=api.ObsOptions(
+                trace_out=getattr(args, "trace_out", None),
+                metrics_out=getattr(args, "metrics_out", None),
+                progress_every=getattr(args, "progress_every", 0),
+            ),
+        )
+        label = f"{out.spec.scheme} on {out.spec.workload} (resumed)"
+    else:
+        if not args.scheme or not args.workload:
+            print("error: scheme and workload are required unless --resume "
+                  "is given", file=sys.stderr)
+            return 2
+        out = api.run(
+            _spec(args, args.scheme),
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_path=(
+                args.checkpoint_out
+                if args.checkpoint_out or not args.checkpoint_every
+                else "repro.ckpt"
+            ),
+        )
+        label = f"{args.scheme} on {args.workload}"
+    _print_result(label, out.result)
     if out.breakdown is not None:
         print(f"{'':<26} busy: " + ", ".join(
             f"{key}={value:.1%}"
@@ -221,10 +245,21 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     run_p = sub.add_parser("run", help="run one scheme on one workload")
-    run_p.add_argument("scheme", choices=sorted(SCHEMES))
-    run_p.add_argument("workload")
+    run_p.add_argument("scheme", nargs="?", choices=sorted(SCHEMES))
+    run_p.add_argument("workload", nargs="?")
     _add_platform_args(run_p, jobs=False)
     _add_obs_args(run_p)
+    run_p.add_argument("--checkpoint-every", type=int, default=0,
+                       metavar="N",
+                       help="write a resumable checkpoint every N issued "
+                            "paths")
+    run_p.add_argument("--checkpoint-out", default=None, metavar="FILE",
+                       help="checkpoint destination "
+                            "(default repro.ckpt; each write replaces it)")
+    run_p.add_argument("--resume", default=None, metavar="CKPT",
+                       help="resume a checkpointed run instead of starting "
+                            "one; finishes bit-identical to the "
+                            "uninterrupted run")
     run_p.set_defaults(func=cmd_run)
 
     cmp_p = sub.add_parser("compare", help="compare schemes on a workload")

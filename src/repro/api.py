@@ -29,8 +29,18 @@ import os
 import random
 import time
 from dataclasses import dataclass, replace
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Union,
+)
 
+from . import stats_keys as sk
 from .config import SystemConfig
 from .errors import ConfigError
 from .obs import (
@@ -43,6 +53,9 @@ from .obs import (
 from .sim.results import SimulationResult
 from .stats import Stats
 from .traces.trace import Trace
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .sim.persistence import CampaignJournal
 
 #: named platform configurations accepted by :attr:`RunSpec.config_name`
 CONFIG_NAMES = ("scaled", "paper", "tiny")
@@ -203,7 +216,26 @@ def _build_tracer(obs: ObsOptions) -> Optional[Tracer]:
     return tracer
 
 
-def run(spec: RunSpec, artifacts=None) -> RunResult:
+def _chain_slot_observer(controller, observe: Callable) -> None:
+    """Append ``observe`` to the controller's slot-observer chain."""
+    previous = controller.slot_observer
+    if previous is None:
+        controller.slot_observer = observe
+    else:
+        def chained(result, _previous=previous, _observe=observe):
+            _previous(result)
+            _observe(result)
+
+        controller.slot_observer = chained
+
+
+def run(
+    spec: RunSpec,
+    artifacts=None,
+    checkpoint_every: int = 0,
+    checkpoint_path: Optional[str] = None,
+    checkpoint_limit: int = 0,
+) -> RunResult:
     """Run one :class:`RunSpec` to completion.
 
     ``artifacts`` is an optional :class:`repro.perf.engine.ArtifactCache`
@@ -213,6 +245,13 @@ def run(spec: RunSpec, artifacts=None) -> RunResult:
     bit-identical to cold ones; the cache's hit/miss deltas are recorded
     into :attr:`RunResult.stats` under ``engine.*`` *after* the simulation
     result snapshots its counters, keeping ``result.counters`` clean.
+
+    ``checkpoint_every=N`` writes a resumable mid-run checkpoint to
+    ``checkpoint_path`` every N issued paths (``checkpoint_limit`` bounds
+    how many; each write replaces the last).  Checkpointing follows the
+    same bit-identity contract as observability: a checkpointed run — and
+    a run resumed from any of its checkpoints via :func:`resume_run` —
+    produces exactly the cycles and counters of an uninterrupted one.
     """
     # Imported here: the scheme zoo and trace generators are heavy, and
     # several modules import repro.api at module load.
@@ -248,8 +287,27 @@ def run(spec: RunSpec, artifacts=None) -> RunResult:
             every=audit_every,
             check_rate=config.oram.timing_protection,
         )
+    simulator = Simulator(components, trace)
+    manager = None
+    if checkpoint_every:
+        from .sim.checkpoint import CheckpointManager
+
+        if not checkpoint_path:
+            raise ConfigError(
+                "checkpoint_every requires a checkpoint_path to write to"
+            )
+        # The frozen spec drops obs: callbacks don't pickle, and a resumed
+        # run attaches its own observability anyway.
+        manager = CheckpointManager(
+            checkpoint_every,
+            checkpoint_path,
+            spec=spec.with_obs(ObsOptions()),
+            limit=checkpoint_limit,
+        )
+        _chain_slot_observer(components.controller, manager.observe)
+        simulator.checkpointer = manager
     try:
-        result = Simulator(components, trace).run(
+        result = simulator.run(
             utilization_snapshots=spec.utilization_snapshots
         )
         if auditor is not None:
@@ -264,6 +322,9 @@ def run(spec: RunSpec, artifacts=None) -> RunResult:
             delta = value - engine_before.get(key, 0)
             if delta:
                 stats.set(key, delta)
+    if manager is not None and manager.saves:
+        # Same post-snapshot rule as the engine counters above.
+        stats.set(sk.CHECKPOINT_SAVES, manager.saves)
     if spec.obs.metrics_out:
         with open(spec.obs.metrics_out, "w", encoding="utf-8") as handle:
             handle.write(stats.to_json(indent=1))
@@ -294,6 +355,109 @@ def run_many(
     if jobs is None:
         jobs = max((spec.jobs for spec in specs), default=1)
     return engine_map(run_spec_warm, specs, jobs=jobs, cost=spec_cost)
+
+
+def resume_run(
+    checkpoint: str, obs: Optional[ObsOptions] = None
+) -> RunResult:
+    """Resume a run from a mid-stream checkpoint written by :func:`run`.
+
+    The restored simulator continues from the exact inter-slot boundary
+    the checkpoint froze and finishes with cycles and counters
+    bit-identical to the uninterrupted run.  Observability is re-attached
+    fresh (``obs`` overrides the checkpointed spec's options), and the
+    run keeps checkpointing on its original cadence and path.
+    """
+    from .sim.checkpoint import load_checkpoint
+
+    start = time.perf_counter()
+    payload = load_checkpoint(checkpoint)
+    simulator = payload.sim
+    spec = payload.spec if payload.spec is not None else RunSpec()
+    if obs is not None:
+        spec = spec.with_obs(obs)
+    stats = simulator.stats
+    tracer = _build_tracer(spec.obs)
+    if tracer is not None:
+        stats.tracer = tracer
+    audit, audit_every = _audit_options(spec.obs)
+    auditor = None
+    if audit:
+        from .validate.invariants import attach_auditor
+
+        auditor = attach_auditor(
+            simulator.components,
+            every=audit_every,
+            check_rate=simulator.components.config.oram.timing_protection,
+        )
+    manager = simulator.checkpointer
+    if manager is not None:
+        # Observers are stripped on pickling; re-join the chain so the
+        # resumed run keeps checkpointing where the original left off.
+        _chain_slot_observer(simulator.controller, manager.observe)
+    try:
+        result = simulator.resume()
+        if auditor is not None:
+            auditor.final_check(result)
+    finally:
+        if tracer is not None:
+            tracer.close()
+    if manager is not None and manager.saves:
+        stats.set(sk.CHECKPOINT_SAVES, manager.saves)
+    if spec.obs.metrics_out:
+        with open(spec.obs.metrics_out, "w", encoding="utf-8") as handle:
+            handle.write(stats.to_json(indent=1))
+            handle.write("\n")
+    return RunResult(spec, result, stats, time.perf_counter() - start)
+
+
+def campaign_key(spec: RunSpec) -> str:
+    """Stable journal key identifying what a spec computes.
+
+    Only inputs that change simulation results participate; observability
+    and job-count knobs do not.
+    """
+    config = spec.resolve_config()
+    return "|".join((
+        spec.scheme,
+        spec.workload,
+        str(spec.records),
+        str(spec.seed),
+        config.fingerprint(),
+    ))
+
+
+def run_campaign(
+    specs: Sequence[RunSpec],
+    journal: Union[str, "CampaignJournal"],
+    jobs: int = 1,
+) -> List[SimulationResult]:
+    """Run a batch of specs with crash-resumable journaling.
+
+    Each finished point is appended to ``journal`` (a path or a
+    :class:`~repro.sim.persistence.CampaignJournal`) before the next one
+    is awaited; re-running the same campaign after a crash skips every
+    journaled point and simulates only the remainder.  Results return in
+    input order regardless of how many came from the journal.
+    """
+    from .perf.engine import engine_map, run_spec_warm, spec_cost
+    from .sim.persistence import CampaignJournal
+
+    if not isinstance(journal, CampaignJournal):
+        journal = CampaignJournal(journal)
+    specs = list(specs)
+    keys = [campaign_key(spec) for spec in specs]
+    todo = [
+        (index, spec)
+        for index, (key, spec) in enumerate(zip(keys, specs))
+        if not journal.done(key)
+    ]
+    fresh = engine_map(
+        run_spec_warm, [spec for _, spec in todo], jobs=jobs, cost=spec_cost
+    )
+    for (index, _), out in zip(todo, fresh):
+        journal.record(keys[index], out.result)
+    return [journal.get(key) for key in keys]
 
 
 def sweep(
@@ -350,7 +514,10 @@ __all__ = [
     "RunSpec",
     "RunResult",
     "run",
+    "resume_run",
     "run_many",
+    "run_campaign",
+    "campaign_key",
     "sweep",
     "bench",
     "summarize_trace",

@@ -27,6 +27,27 @@ class TraceError(ReproError):
     """A memory trace is malformed or exhausted unexpectedly."""
 
 
+class CheckpointError(ReproError):
+    """A simulator checkpoint could not be written, read, or resumed.
+
+    Raised for torn or truncated checkpoint files, format-version
+    mismatches, and checkpoints taken by a different build of the
+    simulator (the recorded code salt no longer matches) — resuming any
+    of those could silently produce numbers that differ from the
+    uninterrupted run, so loading fails loudly instead.
+    """
+
+
+class EngineFaultError(ReproError):
+    """A supervised engine task kept failing after every recovery path.
+
+    The warm-pool engine retries crashed tasks, respawns broken pools,
+    and finally degrades to serial in-process execution; this error means
+    a task still failed (or hung) after the retry budget was exhausted,
+    so the failure is deterministic rather than operational.
+    """
+
+
 class AuditError(ReproError):
     """A conformance invariant failed during an audited run.
 

@@ -36,6 +36,16 @@ LLC_MISS = "llc.miss"
 PROGRESS = "progress"
 #: one online conformance audit completed (payload: audits, paths, blocks)
 AUDIT = "audit"
+#: a mid-run simulator checkpoint was written (payload: path, paths, saves)
+CHECKPOINT_SAVED = "checkpoint.saved"
+#: a supervised engine task was re-dispatched (payload: index, attempt, cause)
+ENGINE_RETRY = "engine.retry"
+#: the warm pool was torn down and rebuilt (payload: cause, inflight)
+ENGINE_RESPAWN = "engine.respawn"
+#: a task exceeded its EWMA-scaled deadline (payload: index, deadline_s)
+ENGINE_TIMEOUT = "engine.timeout"
+#: the engine gave up on the pool and fell back to serial execution
+ENGINE_DEGRADED = "engine.degraded"
 
 #: every kind above, in a stable documentation order
 ALL_KINDS = (
@@ -51,6 +61,11 @@ ALL_KINDS = (
     LLC_MISS,
     PROGRESS,
     AUDIT,
+    CHECKPOINT_SAVED,
+    ENGINE_RETRY,
+    ENGINE_RESPAWN,
+    ENGINE_TIMEOUT,
+    ENGINE_DEGRADED,
 )
 
 

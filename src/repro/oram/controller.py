@@ -128,23 +128,7 @@ class PathORAMController:
         #: DRAM model built from the same config, so the table may be
         #: shared across runs (see :meth:`adopt_artifacts`).
         self._path_dram: dict = {}
-        #: C kernel for the read-phase stash fill (valid for every scheme:
-        #: tree-top removal hooks run in Python on the returned top blocks)
-        self._native_bulk = (
-            _fastpath
-            if _fastpath is not None and self.oram.levels < 64
-            else None
-        )
-        #: C kernel for the whole write phase; only valid for the ungated
-        #: dedicated tree-top cache, whose placement hooks are bare
-        #: counters (S-Stash schemes gate placement and keep the Python
-        #: placement loop, with only the pool grouping in C).
-        self._native = (
-            self._native_bulk
-            if self._native_bulk is not None
-            and type(self.treetop) is TreeTopCache
-            else None
-        )
+        self._rebind_native()
         self._z_list = list(self.oram.z_per_level)
 
         self.queue: Deque[Request] = deque()
@@ -155,6 +139,52 @@ class PathORAMController:
         self.path_count = 0
         self._consecutive_evictions = 0
         self._initialize_tree()
+
+    def _rebind_native(self) -> None:
+        """(Re)derive the optional C-kernel bindings from current state.
+
+        The read-phase bulk fill is valid for every scheme (tree-top
+        removal hooks run in Python on the returned top blocks); the whole
+        write phase is only valid for the ungated dedicated tree-top
+        cache, whose placement hooks are bare counters (S-Stash schemes
+        gate placement and keep the Python placement loop, with only the
+        pool grouping in C).  Called from ``__init__`` and again after
+        unpickling: the kernel module is process-local state that cannot
+        cross a checkpoint, so :meth:`__setstate__` rebinds it here.
+        """
+        self._native_bulk = (
+            _fastpath
+            if _fastpath is not None and self.oram.levels < 64
+            else None
+        )
+        self._native = (
+            self._native_bulk
+            if self._native_bulk is not None
+            and type(self.treetop) is TreeTopCache
+            else None
+        )
+
+    # ------------------------------------------------------------------
+    # pickling (mid-run checkpoints)
+    # ------------------------------------------------------------------
+    # Controllers are snapshotted mid-run by repro.sim.checkpoint.  Three
+    # kinds of attribute cannot (or must not) cross the pickle boundary:
+    # the C kernel bindings (module objects, process-local), and the two
+    # observer hooks (arbitrary callables — auditors and checkpoint
+    # managers re-attach themselves on resume).  Everything else is plain
+    # Python state and round-trips exactly, so a resumed run is
+    # bit-identical to an uninterrupted one.
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["_native"] = None
+        state["_native_bulk"] = None
+        state["observer"] = None
+        state["slot_observer"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._rebind_native()
 
     # ------------------------------------------------------------------
     # initialization

@@ -47,11 +47,20 @@ import json
 import os
 import pickle
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    wait,
+)
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
 
 from .. import stats_keys as sk
 from ..config import ORAMConfig, SystemConfig
+from ..errors import EngineFaultError
+from ..obs import events as ev
 from .parallel import PointResult, SimPoint
 
 T = TypeVar("T")
@@ -81,6 +90,19 @@ def cache_root() -> str:
 def disk_cache_enabled() -> bool:
     """On-disk persistence can be disabled with ``REPRO_DISK_CACHE=0``."""
     return os.environ.get("REPRO_DISK_CACHE", "1") != "0"
+
+
+def _quarantine(path: str) -> None:
+    """Move a corrupt cache file aside (``<name>.corrupt``) for post-mortem.
+
+    Renaming rather than deleting keeps the evidence while guaranteeing
+    the bad bytes are never loaded again; failures here are best-effort
+    (another process may have already quarantined or replaced the file).
+    """
+    try:
+        os.replace(path, f"{path}.corrupt")
+    except OSError:
+        pass
 
 
 def _code_salt() -> str:
@@ -154,10 +176,19 @@ class ArtifactCache:
     def _disk_load(self, kind: str, key: str) -> Optional[Any]:
         if not disk_cache_enabled():
             return None
+        path = self._disk_path(kind, key)
         try:
-            with open(self._disk_path(kind, key), "rb") as handle:
+            with open(path, "rb") as handle:
                 return pickle.load(handle)
+        except FileNotFoundError:
+            return None
         except Exception:
+            # A torn or corrupt entry (killed writer, bad disk) must not
+            # be silently retried forever: quarantine it aside so the next
+            # store rebuilds it, and surface the event as a counter.
+            _quarantine(path)
+            self._bump(sk.ENGINE_CACHE_CORRUPT)
+            _bump_local(sk.ENGINE_CACHE_CORRUPT)
             return None
 
     def _disk_store(self, kind: str, key: str, value: Any) -> None:
@@ -381,7 +412,14 @@ class PriorStore:
                     for ns, entries in raw.items()
                     if isinstance(entries, dict)
                 }
+        except FileNotFoundError:
+            pass
         except Exception:
+            # Corrupt priors only cost dispatch-order quality, but a torn
+            # file left in place would fail on every load: quarantine it
+            # and count the event like any other cache corruption.
+            _quarantine(self.path)
+            _bump_local(sk.ENGINE_CACHE_CORRUPT)
             self.data = {}
 
     def predict(self, namespace: str, key: str) -> Optional[float]:
@@ -533,15 +571,253 @@ def reset() -> None:
 
 
 # ----------------------------------------------------------------------
-# scheduling
+# scheduling + supervision
 # ----------------------------------------------------------------------
+#: optional observer of supervision events; called as ``hook(kind, **data)``
+#: with the ``engine.*`` kinds from :mod:`repro.obs.events`.  Process-wide
+#: (the engine itself is process-wide state); tests and the chaos harness
+#: install one to assert recovery behaviour.
+_EVENT_HOOK: Optional[Callable[..., None]] = None
+
+
+def set_event_hook(hook: Optional[Callable[..., None]]) -> None:
+    """Install (or clear, with ``None``) the supervision event observer."""
+    global _EVENT_HOOK
+    _EVENT_HOOK = hook
+
+
+def _emit(kind: str, **data: Any) -> None:
+    if _EVENT_HOOK is not None:
+        _EVENT_HOOK(kind, **data)
+
+
+def _env_float(name: str, default: float) -> float:
+    try:
+        return float(os.environ.get(name, "") or default)
+    except ValueError:
+        return default
+
+
+def _env_int(name: str, default: int) -> int:
+    try:
+        return int(os.environ.get(name, "") or default)
+    except ValueError:
+        return default
+
+
+def _kill_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear a (possibly hung) pool down without waiting on its workers."""
+    global _POOL
+    for process in list(getattr(pool, "_processes", {}).values()):
+        try:
+            process.terminate()
+        except OSError:
+            pass
+    pool.shutdown(wait=False, cancel_futures=True)
+    if _POOL is pool:
+        _POOL = None
+
+
+@dataclass
+class _TaskState:
+    """Supervision bookkeeping for one in-flight item."""
+
+    index: int
+    attempt: int  # 0 on the first dispatch
+    deadline: Optional[float]  # monotonic seconds, None = unbounded
+
+
+class _Supervisor:
+    """Drives one ``engine_map`` call through crashes, hangs, and respawns.
+
+    Recovery never changes *what* is computed — workers are pure functions
+    of their item, so a re-dispatched task returns bit-identical results —
+    only *where* it runs.  The escalation ladder:
+
+    1. a task raising an exception is retried with exponential backoff,
+       up to ``REPRO_TASK_RETRIES`` times, then surfaces as
+       :class:`~repro.errors.EngineFaultError`;
+    2. a crashed worker breaks the pool; the pool is respawned and every
+       in-flight task re-dispatched (the crash victim charged a retry);
+    3. a task exceeding its deadline (``REPRO_TASK_TIMEOUT`` override, or
+       ``max(floor, factor × EWMA prior)`` when a cost estimator exists)
+       gets the pool killed and is charged a retry like a crash;
+    4. after ``REPRO_MAX_RESPAWNS`` pool failures in one call, the engine
+       degrades: every unfinished item runs serially in-process.
+    """
+
+    def __init__(
+        self,
+        worker: Callable[[T], R],
+        items: List[T],
+        jobs: int,
+        costs: Optional[List[float]],
+        order: List[int],
+    ) -> None:
+        self.worker = worker
+        self.items = items
+        self.jobs = jobs
+        self.costs = costs
+        self.results: Dict[int, R] = {}
+        self.pending: List[int] = list(order)  # dispatch order, front first
+        self.attempts: Dict[int, int] = {}
+        self.inflight: Dict[Any, _TaskState] = {}
+        self.pool_failures = 0
+        self.retry_budget = _env_int("REPRO_TASK_RETRIES", 2)
+        self.max_respawns = _env_int("REPRO_MAX_RESPAWNS", 3)
+        self.timeout_override = _env_float("REPRO_TASK_TIMEOUT", 0.0)
+        self.timeout_floor = _env_float("REPRO_TASK_TIMEOUT_FLOOR", 30.0)
+        self.timeout_factor = _env_float("REPRO_TASK_TIMEOUT_FACTOR", 20.0)
+
+    # -- policy -------------------------------------------------------------
+    def _deadline_for(self, index: int) -> Optional[float]:
+        if self.timeout_override > 0:
+            seconds = self.timeout_override
+        elif self.costs is not None:
+            seconds = max(
+                self.timeout_floor, self.timeout_factor * self.costs[index]
+            )
+        else:
+            return None  # no estimate, no override: don't guess a ceiling
+        return time.monotonic() + seconds
+
+    def _charge_retry(self, index: int, cause: str) -> None:
+        attempt = self.attempts.get(index, 0) + 1
+        self.attempts[index] = attempt
+        if attempt > self.retry_budget:
+            raise EngineFaultError(
+                f"task {index} failed {attempt} times (last cause: {cause}); "
+                f"retry budget REPRO_TASK_RETRIES={self.retry_budget} "
+                "exhausted"
+            )
+        _bump_local(sk.ENGINE_RETRIES)
+        _emit(ev.ENGINE_RETRY, index=index, attempt=attempt, cause=cause)
+        # Exponential backoff: transient faults (OOM-killed sibling, disk
+        # pressure) get breathing room; capped so hard failures fail fast.
+        time.sleep(min(0.05 * (2 ** (attempt - 1)), 1.0))
+
+    # -- dispatch -----------------------------------------------------------
+    def _submit(self, pool: ProcessPoolExecutor, index: int) -> None:
+        try:
+            future = pool.submit(self.worker, self.items[index])
+        except BrokenExecutor:
+            # The pool died between refills; put the item back so the
+            # respawn path re-dispatches it instead of dropping it.
+            self.pending.insert(0, index)
+            raise
+        self.inflight[future] = _TaskState(
+            index=index,
+            attempt=self.attempts.get(index, 0),
+            deadline=self._deadline_for(index),
+        )
+        if self.attempts.get(index, 0) == 0:
+            _bump_local(sk.ENGINE_TASKS)
+
+    def _refill(self, pool: ProcessPoolExecutor) -> None:
+        while self.pending and len(self.inflight) < self.jobs:
+            self._submit(pool, self.pending.pop(0))
+
+    def _respawn(self, pool: ProcessPoolExecutor, cause: str) -> None:
+        """Kill the pool and push every in-flight task back to pending."""
+        displaced = sorted(state.index for state in self.inflight.values())
+        self.inflight.clear()
+        _kill_pool(pool)
+        self.pool_failures += 1
+        _bump_local(sk.ENGINE_RESPAWNS)
+        _emit(ev.ENGINE_RESPAWN, cause=cause, inflight=len(displaced))
+        # Re-dispatch in front of untouched work: these items were already
+        # charged wall time, and finishing them first keeps tail latency low.
+        self.pending[:0] = [
+            index for index in displaced if index not in self.results
+        ]
+
+    def _degraded(self) -> List[R]:
+        _bump_local(sk.ENGINE_DEGRADED)
+        _emit(ev.ENGINE_DEGRADED, remaining=len(self.items) - len(self.results))
+        for index in range(len(self.items)):
+            if index not in self.results:
+                self.results[index] = self.worker(self.items[index])
+        return [self.results[index] for index in range(len(self.items))]
+
+    # -- the loop -----------------------------------------------------------
+    def run(self) -> List[R]:
+        while len(self.results) < len(self.items):
+            if self.pool_failures > self.max_respawns:
+                return self._degraded()
+            pool = get_pool(self.jobs)
+            try:
+                self._refill(pool)
+                self._step(pool)
+            except BrokenExecutor:
+                self._respawn(pool, cause="broken_pool")
+        return [self.results[index] for index in range(len(self.items))]
+
+    def _step(self, pool: ProcessPoolExecutor) -> None:
+        """One wait + harvest round; raises BrokenExecutor on pool death."""
+        if not self.inflight:
+            return
+        now = time.monotonic()
+        deadlines = [
+            state.deadline
+            for state in self.inflight.values()
+            if state.deadline is not None
+        ]
+        timeout = max(0.0, min(deadlines) - now) if deadlines else None
+        done, _ = wait(
+            set(self.inflight), timeout=timeout, return_when=FIRST_COMPLETED
+        )
+        broken = False
+        for future in done:
+            state = self.inflight.pop(future)
+            try:
+                self.results[state.index] = future.result()
+            except BrokenExecutor:
+                # The whole pool died; the remaining in-flight futures are
+                # doomed too.  Charge the victims and respawn once.
+                self._charge_retry(state.index, cause="worker_crash")
+                self.pending.insert(0, state.index)
+                broken = True
+            except Exception as exc:
+                self._charge_retry(
+                    state.index, cause=f"{type(exc).__name__}: {exc}"
+                )
+                self.pending.insert(0, state.index)
+        if broken:
+            raise BrokenProcessPool("worker crashed mid-task")
+        self._expire(pool)
+
+    def _expire(self, pool: ProcessPoolExecutor) -> None:
+        """Charge tasks past their deadline and kill the pool under them."""
+        now = time.monotonic()
+        expired = [
+            (future, state)
+            for future, state in self.inflight.items()
+            if state.deadline is not None and now >= state.deadline
+        ]
+        if not expired:
+            return
+        for future, state in expired:
+            if future.done():
+                continue  # finished in the window between wait() and here
+            _bump_local(sk.ENGINE_TIMEOUTS)
+            _emit(
+                ev.ENGINE_TIMEOUT,
+                index=state.index,
+                deadline_s=round(state.deadline - now, 3),
+            )
+            self._charge_retry(state.index, cause="timeout")
+        # A hung worker can't be cancelled individually — concurrent.futures
+        # offers no per-task kill — so the whole pool goes.
+        raise BrokenProcessPool("task exceeded its deadline")
+
+
 def engine_map(
     worker: Callable[[T], R],
     items: Sequence[T],
     jobs: int = 1,
     cost: Optional[Callable[[T], float]] = None,
 ) -> List[R]:
-    """Map a picklable worker over items through the warm pool.
+    """Map a picklable worker over items through the supervised warm pool.
 
     Items are submitted individually — longest-expected-first when a
     ``cost`` estimator is given (stable for ties, so input order is the
@@ -549,36 +825,26 @@ def engine_map(
     strands pre-chunked work on an idle worker.  Results return in input
     order.  With ``jobs <= 1`` (or one item) this is a plain in-process
     loop.
+
+    Worker crashes, hangs, and broken pools are handled by
+    :class:`_Supervisor`: tasks are retried (bounded by
+    ``REPRO_TASK_RETRIES``), the pool respawned (bounded by
+    ``REPRO_MAX_RESPAWNS``), and as a last resort the remaining items run
+    serially in-process — in every case returning exactly what the serial
+    loop would have returned.  Recovery activity surfaces through the
+    ``engine.retries`` / ``engine.respawns`` / ``engine.timeouts`` /
+    ``engine.degraded`` counters and the :func:`set_event_hook` observer.
     """
     items = list(items)
     if jobs <= 1 or len(items) <= 1:
         return [worker(item) for item in items]
     jobs = min(jobs, len(items))
     order = list(range(len(items)))
+    costs: Optional[List[float]] = None
     if cost is not None:
         costs = [float(cost(item)) for item in items]
         order.sort(key=lambda index: -costs[index])
-    pool = get_pool(jobs)
-    results: Dict[int, R] = {}
-    pending = iter(order)
-    inflight: Dict[Any, int] = {}
-
-    def refill() -> None:
-        while len(inflight) < jobs:
-            try:
-                index = next(pending)
-            except StopIteration:
-                return
-            inflight[pool.submit(worker, items[index])] = index
-            _bump_local(sk.ENGINE_TASKS)
-
-    refill()
-    while inflight:
-        done, _ = wait(set(inflight), return_when=FIRST_COMPLETED)
-        for future in done:
-            results[inflight.pop(future)] = future.result()
-        refill()
-    return [results[index] for index in range(len(items))]
+    return _Supervisor(worker, items, jobs, costs, order).run()
 
 
 # ----------------------------------------------------------------------

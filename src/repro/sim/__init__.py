@@ -1,5 +1,13 @@
 """Full-system simulation: processor + LLC + ORAM controller + DRAM."""
 
+from .checkpoint import (
+    CHECKPOINT_VERSION,
+    CheckpointManager,
+    SimulatorCheckpoint,
+    load_checkpoint,
+    save_checkpoint,
+)
+from .persistence import CampaignJournal
 from .results import SimulationResult
 from .runner import run_benchmark, run_trace
 from .simulator import MemoryHierarchy, Simulator
@@ -8,6 +16,12 @@ __all__ = [
     "Simulator",
     "MemoryHierarchy",
     "SimulationResult",
+    "SimulatorCheckpoint",
+    "CheckpointManager",
+    "CampaignJournal",
+    "CHECKPOINT_VERSION",
+    "save_checkpoint",
+    "load_checkpoint",
     "run_trace",
     "run_benchmark",
 ]

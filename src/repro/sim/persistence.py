@@ -8,6 +8,7 @@ later without re-simulating; these helpers round-trip
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from typing import Iterable, List, Union
 
@@ -86,3 +87,56 @@ def load_results(path: Union[str, Path]) -> List[SimulationResult]:
     if not isinstance(payload, list):
         raise ReproError("result file must contain a list")
     return [result_from_dict(entry) for entry in payload]
+
+
+class CampaignJournal:
+    """Append-only JSONL journal of completed campaign points.
+
+    A long sweep records each finished point as one ``{"key": ...,
+    "result": ...}`` line; after a crash, re-running the campaign skips
+    every key already journaled and only simulates the remainder
+    (:func:`repro.api.run_campaign`).  Each line is written with a
+    trailing flush before the next point starts, and a torn final line —
+    the expected artifact of a crash mid-write — is ignored on load
+    rather than poisoning the whole journal.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._results: dict = {}
+        self._load()
+
+    def _load(self) -> None:
+        if not self.path.exists():
+            return
+        for line in self.path.read_text().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+                key = entry["key"]
+                result = result_from_dict(entry["result"])
+            except (ValueError, KeyError, ReproError):
+                # torn or half-written trailing line from a crash
+                continue
+            self._results[key] = result
+
+    def done(self, key: str) -> bool:
+        return key in self._results
+
+    def get(self, key: str) -> SimulationResult:
+        return self._results[key]
+
+    def record(self, key: str, result: SimulationResult) -> None:
+        entry = {"key": key, "result": result_to_dict(result)}
+        line = json.dumps(entry, separators=(",", ":"))
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        self._results[key] = result
+
+    def __len__(self) -> int:
+        return len(self._results)

@@ -151,6 +151,19 @@ class Simulator:
         self.llc = components.llc
         self.hierarchy = MemoryHierarchy(self.llc, self.controller, self.stats)
         self.processor = Processor(trace, components.config.cpu, self.stats)
+        #: optional mid-run checkpoint hook (see repro.sim.checkpoint);
+        #: consulted between issue slots, never inside one, so captured
+        #: state is always at a well-defined protocol boundary.
+        self.checkpointer = None
+        # Loop state lives on the instance (not in run()-local variables)
+        # so a checkpoint can freeze a run between two issue slots and a
+        # resumed simulator continues exactly where the original stopped.
+        self._started = False
+        self._now = 0
+        self._last_finish = 0
+        self._idle_iterations = 0
+        self._attribution: Optional[CycleAttribution] = None
+        self._snapshot_every = 0
 
     def run(self, utilization_snapshots: int = 0) -> SimulationResult:
         """Run to completion and return the result summary.
@@ -158,6 +171,33 @@ class Simulator:
         ``utilization_snapshots``: if nonzero, record per-level tree
         utilization that many times, evenly spaced in path count (Fig. 3).
         """
+        if self._started:
+            raise ProtocolError(
+                "Simulator.run() called twice; use resume() to continue a "
+                "checkpointed run"
+            )
+        self._started = True
+        self._attribution = CycleAttribution()
+        if utilization_snapshots:
+            expected_paths = max(1, 2 * len(self.trace))
+            self._snapshot_every = max(
+                1, expected_paths // utilization_snapshots
+            )
+            self._record_utilization(0)
+        return self._loop()
+
+    def resume(self) -> SimulationResult:
+        """Continue a run restored from a mid-stream checkpoint.
+
+        The loop state (clock, attribution, idle bookkeeping) was frozen
+        between two issue slots, so continuing produces cycles and
+        counters bit-identical to the uninterrupted run.
+        """
+        if not self._started:
+            raise ProtocolError("resume() on a simulator that never ran")
+        return self._loop()
+
+    def _loop(self) -> SimulationResult:
         controller = self.controller
         processor = self.processor
         hierarchy = self.hierarchy
@@ -165,17 +205,13 @@ class Simulator:
         interval = oram.issue_interval
         tracer = self.stats.tracer
         progress_every = tracer.progress_every if tracer is not None else 0
-        attribution = CycleAttribution()
+        attribution = self._attribution
+        snapshot_every = self._snapshot_every
 
-        snapshot_every = 0
-        if utilization_snapshots:
-            expected_paths = max(1, 2 * len(self.trace))
-            snapshot_every = max(1, expected_paths // utilization_snapshots)
-            self._record_utilization(0)
-
-        now = 0
-        last_finish = 0
-        idle_iterations = 0
+        now = self._now
+        last_finish = self._last_finish
+        idle_iterations = self._idle_iterations
+        checkpointer = self.checkpointer
         while True:
             if tracer is not None:
                 tracer.now = now
@@ -218,7 +254,17 @@ class Simulator:
                     controller.path_count % progress_every == 0
                 ):
                     self._emit_progress(tracer, now)
+            if checkpointer is not None and checkpointer.pending:
+                # Flush loop state first so the frozen simulator resumes
+                # from exactly this inter-slot boundary.
+                self._now = now
+                self._last_finish = last_finish
+                self._idle_iterations = idle_iterations
+                checkpointer.take(self)
 
+        self._now = now
+        self._last_finish = last_finish
+        self._idle_iterations = idle_iterations
         cycles = max(
             processor.finish_time or 0,
             hierarchy.last_demand_completion,

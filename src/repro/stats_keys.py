@@ -185,6 +185,22 @@ ENGINE_POOL_STARTS = "engine.pool_starts"
 ENGINE_POOL_REUSES = "engine.pool_reuses"
 ENGINE_TASKS = "engine.tasks"
 
+# -- engine supervision: worker failure handling (repro.perf.engine) ----------
+# A retry is one re-dispatch of a task after a crash, hang, or worker
+# exception; a respawn is one pool teardown+rebuild after a BrokenProcessPool
+# or a hung worker; a timeout is one task exceeding its EWMA-scaled deadline;
+# degraded counts engine_map calls that fell back to serial in-process
+# execution after the pool repeatedly failed.  cache.corrupt counts artifact
+# or prior files quarantined because they failed to load.
+ENGINE_RETRIES = "engine.retries"
+ENGINE_RESPAWNS = "engine.respawns"
+ENGINE_TIMEOUTS = "engine.timeouts"
+ENGINE_DEGRADED = "engine.degraded"
+ENGINE_CACHE_CORRUPT = "engine.cache.corrupt"
+
+# -- checkpoint: mid-run simulator snapshots (repro.sim.checkpoint) -----------
+CHECKPOINT_SAVES = "checkpoint.saves"
+
 # -- audit: the online conformance auditor (repro.validate) -------------------
 # These keys live in the auditor's *private* Stats registry, never in the
 # run's own — audited runs stay counter-bit-identical to unaudited ones.

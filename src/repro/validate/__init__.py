@@ -13,9 +13,14 @@ Three pillars (see ``docs/validation.md``):
 - :mod:`repro.validate.golden` + :mod:`repro.validate.fuzz` — the
   committed golden corpus and the shrinking fuzzer behind
   ``repro validate --check/--regen/--fuzz``.
+- :mod:`repro.validate.chaos` — seed-replayable fault injection
+  (worker crashes, hangs, torn caches) proving the supervised engine
+  recovers bit-identical to the serial loop
+  (``repro validate --chaos``; see ``docs/resilience.md``).
 """
 
 from ..errors import AuditError
+from .chaos import ChaosPlan, ChaosWorker, run_chaos, tear_cache_files
 from .invariants import DEFAULT_CADENCE, AuditReport, InvariantAuditor, attach_auditor
 from .oracle import (
     ReferenceORAM,
@@ -28,6 +33,10 @@ from .oracle import (
 __all__ = [
     "AuditError",
     "AuditReport",
+    "ChaosPlan",
+    "ChaosWorker",
+    "run_chaos",
+    "tear_cache_files",
     "DEFAULT_CADENCE",
     "InvariantAuditor",
     "attach_auditor",

@@ -54,8 +54,17 @@ def add_parser(sub) -> None:
         metavar="DIR",
         help="where fuzz failures are persisted",
     )
+    parser.add_argument(
+        "--chaos", action="store_true",
+        help="fault-injection pass: worker crashes, hangs, and torn "
+             "caches must recover bit-identical to the serial loop",
+    )
+    parser.add_argument(
+        "--budget", choices=("small", "full"), default="small",
+        help="chaos sweep size (records per point)",
+    )
     parser.add_argument("--seed", type=int, default=1,
-                        help="base seed for the fuzzer")
+                        help="base seed for the fuzzer and chaos plans")
     parser.add_argument("--jobs", type=int, default=1,
                         help="matrix runs in parallel (also enables the "
                              "serial-vs-parallel engine oracle)")
@@ -146,6 +155,34 @@ def _do_check(args) -> int:
     return 1 if failed else 0
 
 
+def _do_chaos(args) -> int:
+    from . import chaos
+
+    try:
+        report = chaos.run_chaos(
+            budget=args.budget,
+            jobs=max(args.jobs, 3),
+            seed=args.seed,
+        )
+    except ReproError as exc:
+        print(f"chaos FAILED: {exc}", file=sys.stderr)
+        print(f"  replay with: repro validate --chaos --budget "
+              f"{args.budget} --seed {args.seed}", file=sys.stderr)
+        return 1
+    counters = report.get("counters", {})
+    print(f"chaos OK ({report['points']} points, budget={args.budget}, "
+          f"seed={report['seed']}): "
+          f"crashes at {report['crash_indices']}, "
+          f"hangs at {report['hang_indices']} — "
+          f"{counters.get('engine.retries', 0)} retries, "
+          f"{counters.get('engine.respawns', 0)} respawns, "
+          f"{counters.get('engine.timeouts', 0)} timeouts, "
+          f"{report['quarantined']} quarantined of "
+          f"{report['torn_files']} torn files; all results bit-identical "
+          "to the serial loop")
+    return 0
+
+
 def run_validate(args: argparse.Namespace) -> int:
     if args.regen:
         return _do_regen(args)
@@ -153,4 +190,6 @@ def run_validate(args: argparse.Namespace) -> int:
         return _do_replay(args)
     if args.fuzz:
         return _do_fuzz(args)
+    if args.chaos:
+        return _do_chaos(args)
     return _do_check(args)

@@ -1,0 +1,292 @@
+"""Checkpoint/resume tests: frozen runs must finish bit-identical.
+
+The contract under test (docs/resilience.md): a run checkpointed every N
+accesses and resumed from the latest checkpoint produces exactly the
+cycles, counters, and golden digest of the uninterrupted run — for every
+scheme, audited or not.  The golden corpus committed at
+``benchmarks/golden/tiny.json`` supplies the ground truth, so these tests
+also prove resumed runs match what *previous* builds recorded.
+"""
+
+import json
+import os
+import pickle
+import tempfile
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import api
+from repro.core.schemes import SCHEMES
+from repro.errors import CheckpointError, ProtocolError
+from repro.perf import engine
+from repro.sim import checkpoint as ckpt_mod
+from repro.sim.checkpoint import load_checkpoint, save_checkpoint
+from repro.sim.persistence import CampaignJournal
+from repro.validate import golden
+
+
+@pytest.fixture(autouse=True)
+def isolated_engine(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    engine.reset()
+    yield
+    engine.reset()
+
+
+def _golden_spec(scheme, workload="mix"):
+    return api.RunSpec(
+        scheme=scheme,
+        workload=workload,
+        records=golden.GOLDEN_RECORDS,
+        seed=golden.GOLDEN_SEED,
+        config_name="tiny",
+    )
+
+
+def _corpus():
+    return golden.load()["entries"]
+
+
+class TestResumeMatchesGolden:
+    @given(
+        scheme=st.sampled_from(sorted(SCHEMES)),
+        workload=st.sampled_from(golden.GOLDEN_WORKLOADS),
+        every=st.integers(min_value=10, max_value=250),
+        audit=st.booleans(),
+    )
+    def test_checkpoint_resume_reproduces_golden_digest(
+        self, scheme, workload, every, audit
+    ):
+        """Checkpoint at a drawn cadence, resume, compare to the corpus."""
+        expected = _corpus()[golden.entry_key(_golden_spec(scheme, workload))]
+        spec = _golden_spec(scheme, workload)
+        saved_audit = os.environ.get("REPRO_AUDIT")
+        try:
+            if audit:
+                os.environ["REPRO_AUDIT"] = "1"
+            else:
+                os.environ.pop("REPRO_AUDIT", None)
+            with tempfile.TemporaryDirectory() as scratch:
+                path = os.path.join(scratch, "run.ckpt")
+                full = api.run(
+                    spec, checkpoint_every=every, checkpoint_path=path
+                )
+                assert golden.entry_from(full)["digest"] == expected["digest"]
+                if os.path.exists(path):  # every > total paths writes none
+                    resumed = api.resume_run(path)
+                    entry = golden.entry_from(resumed)
+                    assert entry["digest"] == expected["digest"]
+                    assert resumed.cycles == expected["cycles"]
+                    assert entry["counters"] == expected["counters"]
+        finally:
+            if saved_audit is None:
+                os.environ.pop("REPRO_AUDIT", None)
+            else:
+                os.environ["REPRO_AUDIT"] = saved_audit
+
+    def test_resume_is_deterministic(self, tmp_path):
+        spec = _golden_spec("IR-ORAM")
+        path = str(tmp_path / "run.ckpt")
+        api.run(spec, checkpoint_every=60, checkpoint_path=path)
+        first = api.resume_run(path)
+        second = api.resume_run(path)
+        assert first.cycles == second.cycles
+        assert first.result.counters == second.result.counters
+
+    def test_resumed_run_keeps_checkpointing(self, tmp_path):
+        spec = _golden_spec("Baseline")
+        path = str(tmp_path / "run.ckpt")
+        full = api.run(spec, checkpoint_every=40, checkpoint_path=path)
+        saves_full = full.stats.get("checkpoint.saves")
+        assert saves_full and saves_full > 1
+        before = os.path.getmtime(path)
+        resumed = api.resume_run(path)
+        # The resumed run re-arms the same cadence and rewrites the file.
+        assert resumed.stats.get("checkpoint.saves") > 0
+        assert os.path.getmtime(path) >= before
+
+    def test_checkpoint_limit_bounds_saves(self, tmp_path):
+        spec = _golden_spec("Baseline")
+        path = str(tmp_path / "run.ckpt")
+        out = api.run(
+            spec, checkpoint_every=30, checkpoint_path=path,
+            checkpoint_limit=1,
+        )
+        assert out.stats.get("checkpoint.saves") == 1
+
+    def test_saves_counter_stays_out_of_result_counters(self, tmp_path):
+        spec = _golden_spec("Baseline")
+        path = str(tmp_path / "run.ckpt")
+        out = api.run(spec, checkpoint_every=50, checkpoint_path=path)
+        assert "checkpoint.saves" not in out.result.counters
+        assert out.stats.get("checkpoint.saves") > 0
+
+
+class TestCheckpointFormat:
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(CheckpointError, match="no checkpoint"):
+            load_checkpoint(str(tmp_path / "missing.ckpt"))
+
+    def test_torn_file_raises(self, tmp_path):
+        spec = _golden_spec("Baseline")
+        path = str(tmp_path / "run.ckpt")
+        api.run(spec, checkpoint_every=50, checkpoint_path=path)
+        data = open(path, "rb").read()
+        with open(path, "wb") as handle:
+            handle.write(data[: len(data) // 2])
+        with pytest.raises(CheckpointError, match="torn or unreadable"):
+            load_checkpoint(path)
+
+    def test_version_mismatch_raises(self, tmp_path, monkeypatch):
+        spec = _golden_spec("Baseline")
+        path = str(tmp_path / "run.ckpt")
+        api.run(spec, checkpoint_every=50, checkpoint_path=path)
+        payload = pickle.load(open(path, "rb"))
+        payload.version = 999
+        with open(path, "wb") as handle:
+            pickle.dump(payload, handle)
+        with pytest.raises(CheckpointError, match="format version"):
+            load_checkpoint(path)
+
+    def test_foreign_build_salt_refuses_resume(self, tmp_path, monkeypatch):
+        spec = _golden_spec("Baseline")
+        path = str(tmp_path / "run.ckpt")
+        api.run(spec, checkpoint_every=50, checkpoint_path=path)
+        monkeypatch.setattr(ckpt_mod, "_SALT", "deadbeef" * 8)
+        with pytest.raises(CheckpointError, match="different simulator"):
+            load_checkpoint(path)
+
+    def test_not_a_checkpoint_raises(self, tmp_path):
+        path = str(tmp_path / "junk.ckpt")
+        with open(path, "wb") as handle:
+            pickle.dump({"surprise": True}, handle)
+        with pytest.raises(CheckpointError, match="SimulatorCheckpoint"):
+            load_checkpoint(path)
+
+    def test_write_is_atomic(self, tmp_path):
+        spec = _golden_spec("Baseline")
+        path = str(tmp_path / "run.ckpt")
+        api.run(spec, checkpoint_every=40, checkpoint_path=path)
+        leftovers = [
+            name for name in os.listdir(tmp_path) if name.endswith(".tmp")
+        ]
+        assert leftovers == []
+        payload = load_checkpoint(path)
+        assert payload.access_index > 0
+        assert payload.spec.scheme == "Baseline"
+
+    def test_run_twice_is_refused(self):
+        from repro.core.schemes import build_scheme
+        from repro.sim.simulator import Simulator
+        from repro.sim.runner import make_workload
+        from repro.config import SystemConfig
+        from repro.stats import Stats
+        import random as random_mod
+
+        config = SystemConfig.tiny()
+        stats = Stats()
+        components = build_scheme(
+            "Baseline", config, stats, random_mod.Random(1)
+        )
+        trace = make_workload("mix", config, 50, 1)
+        sim = Simulator(components, trace)
+        sim.run()
+        with pytest.raises(ProtocolError, match="use resume"):
+            sim.run()
+
+
+class TestCampaignResume:
+    def _specs(self):
+        return [
+            api.RunSpec(
+                scheme=scheme, workload="mix", records=120, seed=3,
+                config_name="tiny",
+            )
+            for scheme in ["Baseline", "IR-ORAM", "Rho"]
+        ]
+
+    def test_campaign_skips_journaled_points(self, tmp_path, monkeypatch):
+        journal_path = tmp_path / "journal.jsonl"
+        calls = []
+        real = engine.run_spec_warm
+
+        def counting(spec):
+            calls.append(spec.scheme)
+            return real(spec)
+
+        monkeypatch.setattr(engine, "run_spec_warm", counting)
+        specs = self._specs()
+        first = api.run_campaign(specs, str(journal_path), jobs=1)
+        assert len(calls) == 3
+        second = api.run_campaign(specs, str(journal_path), jobs=1)
+        assert len(calls) == 3  # nothing re-simulated
+        for a, b in zip(first, second):
+            assert a.cycles == b.cycles
+            assert a.counters == b.counters
+
+    def test_partial_journal_resumes_remainder(self, tmp_path, monkeypatch):
+        journal_path = tmp_path / "journal.jsonl"
+        specs = self._specs()
+        api.run_campaign(specs[:2], str(journal_path), jobs=1)
+        calls = []
+        real = engine.run_spec_warm
+
+        def counting(spec):
+            calls.append(spec.scheme)
+            return real(spec)
+
+        monkeypatch.setattr(engine, "run_spec_warm", counting)
+        results = api.run_campaign(specs, str(journal_path), jobs=1)
+        assert calls == ["Rho"]
+        assert len(results) == 3
+
+    def test_torn_trailing_line_is_tolerated(self, tmp_path):
+        journal_path = tmp_path / "journal.jsonl"
+        specs = self._specs()
+        api.run_campaign(specs, str(journal_path), jobs=1)
+        with open(journal_path, "a") as handle:
+            handle.write('{"key": "half-written')  # crash mid-append
+        journal = CampaignJournal(str(journal_path))
+        assert len(journal) == 3
+
+    def test_journal_results_round_trip_exactly(self, tmp_path):
+        journal_path = tmp_path / "journal.jsonl"
+        specs = self._specs()
+        fresh = [api.run(spec).result for spec in specs]
+        campaign = api.run_campaign(specs, str(journal_path), jobs=1)
+        reloaded = api.run_campaign(specs, str(journal_path), jobs=1)
+        for want, got, again in zip(fresh, campaign, reloaded):
+            assert want.cycles == got.cycles == again.cycles
+            assert want.counters == got.counters == again.counters
+
+
+class TestCheckpointCLI:
+    def test_cli_round_trip(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        path = str(tmp_path / "cli.ckpt")
+        assert main([
+            "run", "IR-ORAM", "mix", "--records", "200", "--seed", "11",
+            "--levels", "11",
+            "--checkpoint-every", "40", "--checkpoint-out", path,
+        ]) == 0
+        first = capsys.readouterr().out
+        assert main(["run", "--resume", path]) == 0
+        second = capsys.readouterr().out
+        assert "(resumed)" in second
+        # Same cycles line either way.
+        def cycles_of(text):
+            for line in text.splitlines():
+                if "cycles=" in line:
+                    return line.split("cycles=")[1].split()[0]
+            raise AssertionError(f"no cycles in {text!r}")
+
+        assert cycles_of(first) == cycles_of(second)
+
+    def test_cli_requires_scheme_without_resume(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["run"]) == 2
+        assert "required unless --resume" in capsys.readouterr().err
