@@ -325,11 +325,25 @@ def run(
     if manager is not None and manager.saves:
         # Same post-snapshot rule as the engine counters above.
         stats.set(sk.CHECKPOINT_SAVES, manager.saves)
+    _record_batch_counters(components.controller, stats)
     if spec.obs.metrics_out:
         with open(spec.obs.metrics_out, "w", encoding="utf-8") as handle:
             handle.write(stats.to_json(indent=1))
             handle.write("\n")
     return RunResult(spec, result, stats, time.perf_counter() - start)
+
+
+def _record_batch_counters(controller, stats: Stats) -> None:
+    """Surface ``engine.batch.*`` bookkeeping after the result snapshot.
+
+    Batch execution stats describe *how* the run executed, never what it
+    simulated, so — like the artifact-cache counters — they are recorded
+    only after :class:`SimulationResult` has snapshotted ``counters``.
+    """
+    batch = getattr(controller, "batch_counters", None)
+    if batch:
+        for key, value in batch.items():
+            stats.set(key, value)
 
 
 def run_many(
@@ -404,6 +418,7 @@ def resume_run(
             tracer.close()
     if manager is not None and manager.saves:
         stats.set(sk.CHECKPOINT_SAVES, manager.saves)
+    _record_batch_counters(simulator.controller, stats)
     if spec.obs.metrics_out:
         with open(spec.obs.metrics_out, "w", encoding="utf-8") as handle:
             handle.write(stats.to_json(indent=1))

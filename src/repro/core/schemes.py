@@ -14,7 +14,9 @@ engine) from a :class:`~repro.config.SystemConfig`:
 * ``IR-DWB``         — Baseline + dummy-to-writeback conversion;
 * ``IR-ORAM``        — all three (with the combined Z=2/Z=3 allocation);
 * ``LLC-D``          — Baseline + delayed block remapping;
-* ``IR-Stash+IR-Alloc (LLC-D)`` — the Fig. 11 configuration.
+* ``IR-Stash+IR-Alloc (LLC-D)`` — the Fig. 11 configuration;
+* ``Decoupled``      — Baseline with Palermo-style read/write phase
+  decoupling (deferred write bursts overlap later read phases).
 """
 
 from __future__ import annotations
@@ -27,6 +29,7 @@ from ..cache.llc import LastLevelCache
 from ..config import SystemConfig
 from ..errors import ConfigError
 from ..oram.controller import PathORAMController
+from ..oram.decoupled import DecoupledPathORAMController
 from ..oram.rho import RhoController
 from ..stats import Stats
 from .ir_alloc import PAPER_ALLOC_CONFIGS, apply_alloc_plan
@@ -97,6 +100,14 @@ def _rho(config: SystemConfig, stats: Stats, rng: random.Random) -> SimComponent
     return SimComponents(config, controller, llc, stats, rng)
 
 
+def _decoupled(
+    config: SystemConfig, stats: Stats, rng: random.Random
+) -> SimComponents:
+    llc = LastLevelCache(config.llc, stats)
+    controller = DecoupledPathORAMController(config, stats, rng)
+    return SimComponents(config, controller, llc, stats, rng)
+
+
 SCHEMES: Dict[str, Scheme] = {
     scheme.name: scheme
     for scheme in [
@@ -143,6 +154,11 @@ SCHEMES: Dict[str, Scheme] = {
             lambda c, s, r: _baseline(
                 c, s, r, alloc="IR-ORAM", sstash=True, delayed_remap=True
             ),
+        ),
+        Scheme(
+            "Decoupled",
+            "Baseline + Palermo-style read/write phase decoupling",
+            _decoupled,
         ),
         Scheme(
             "IR-Alloc1",

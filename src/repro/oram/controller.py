@@ -66,6 +66,15 @@ _MEM_BLOCKS_KEY = {pt: sk.mem_blocks_key(pt) for pt in PathType}
 #: through, preventing starvation during eviction storms.
 MAX_CONSECUTIVE_EVICTIONS = 50
 
+#: Per-phase wall-time keys, in the order the batch kernel reports them.
+_BATCH_TIMING_KEYS = (
+    sk.ENGINE_BATCH_RNG_NS,
+    sk.ENGINE_BATCH_READ_DRAM_NS,
+    sk.ENGINE_BATCH_STASH_NS,
+    sk.ENGINE_BATCH_PLACE_NS,
+    sk.ENGINE_BATCH_WRITE_DRAM_NS,
+)
+
 
 @dataclass
 class SlotResult:
@@ -85,6 +94,12 @@ class SlotResult:
 
 class PathORAMController:
     """Freecursive Path ORAM controller with pluggable IR-ORAM extensions."""
+
+    #: Whether :meth:`run_dummy_batch` may use the native whole-batch
+    #: kernel.  Subclasses that override the per-path protocol (Rho's
+    #: two-tree scheduling, Palermo-style decoupling) must set this False
+    #: so batches fall back to per-slot stepping through their overrides.
+    SUPPORTS_NATIVE_BATCH = True
 
     def __init__(
         self,
@@ -130,6 +145,19 @@ class PathORAMController:
         self._path_dram: dict = {}
         self._rebind_native()
         self._z_list = list(self.oram.z_per_level)
+
+        #: ``engine.batch.*`` bookkeeping for :meth:`run_dummy_batch`
+        #: (calls, paths, per-phase nanoseconds); surfaced through the
+        #: stats snapshot by the API layer after the run completes.
+        self.batch_counters: dict = {}
+        #: cached 29-slot context tuple handed to the native batch kernel;
+        #: rebuilt lazily, invalidated whenever a referenced container is
+        #: replaced (artifact adoption, unpickling).
+        self._batch_ctx = None
+        #: per-leaf DRAM triples packed into the kernel's byte form;
+        #: filled lazily by the kernel (or eagerly by
+        #: :meth:`warm_path_caches`), reset whenever the layout changes.
+        self._packed_triples: dict = {}
 
         self.queue: Deque[Request] = deque()
         #: PosMap blocks evicted from the PLB whose re-insertion into the
@@ -178,6 +206,8 @@ class PathORAMController:
         state = self.__dict__.copy()
         state["_native"] = None
         state["_native_bulk"] = None
+        state["_batch_ctx"] = None
+        state["_packed_triples"] = {}
         state["observer"] = None
         state["slot_observer"] = None
         return state
@@ -593,6 +623,10 @@ class PathORAMController:
         """
         self.layout = layout
         self._path_dram = path_dram
+        # The batch context captures the triples table by reference, and
+        # the packed mirror was derived from the replaced table.
+        self._batch_ctx = None
+        self._packed_triples = {}
 
     def _path_dram_triples(self, leaf: int) -> Tuple[list, int]:
         """Memoized ``(decomposed triples, block count)`` for one path."""
@@ -622,15 +656,68 @@ class PathORAMController:
             self._path_dram[leaf] = cached
         return cached
 
+    def warm_path_caches(self, limit: Optional[int] = None) -> int:
+        """Precompute the per-leaf memoization caches; returns leaves warmed.
+
+        Fills the path-slot cache (:meth:`ORAMTree.path_slots`) and the
+        DRAM-triple cache (:meth:`_path_dram_triples`) for up to ``limit``
+        leaves (default: as many as fit under the cache cap).  This is
+        pure address-geometry work — no protocol state (stash, tree
+        contents, RNG, DRAM banks) is touched — so warming never changes
+        simulated cycles; it only moves the one-time decomposition cost
+        out of latency-sensitive regions such as benchmark loops.
+        """
+        cap = ORAMTree.PATH_CACHE_LIMIT if limit is None else limit
+        count = min(self.oram.leaves, cap)
+        path_slots = self.tree.path_slots
+        triples = self._path_dram_triples
+        bulk = self._native_bulk
+        pack = getattr(bulk, "pack_triples", None) if bulk else None
+        packed = self._packed_triples
+        n_banks = len(self.dram.bank_ready)
+        n_channels = len(self.dram.bus_free)
+        for leaf in range(count):
+            path_slots(leaf)
+            entry = triples(leaf)
+            if pack is not None and leaf not in packed:
+                packed[leaf] = pack(entry, n_banks, n_channels)
+        return count
+
     def _write_path(self, leaf: int, finish_read: int, path_type: PathType,
                     preexisting: Optional[Set[int]] = None) -> int:
         """Greedy bottom-up write phase; returns the write completion cycle.
 
+        Placement (:meth:`_place_path`) and the DRAM write burst
+        (:meth:`_writeback_path`) are separable — Palermo-style decoupled
+        controllers run placement at the slot but defer the burst — and
+        here they run back to back.  The placement decisions, and
+        therefore every counter and cycle, are bit-identical to
+        :meth:`_write_path_reference`.
+        """
+        self._place_path(leaf, preexisting)
+        finish_write = self._writeback_path(leaf, finish_read, path_type)
+        self._after_write_phase()
+        return finish_write
+
+    def _writeback_path(
+        self, leaf: int, finish_read: int, path_type: PathType
+    ) -> int:
+        """The write phase's DRAM burst for an already-placed path."""
+        triples, blocks = self._path_dram_triples(leaf)
+        finish_write = self.dram.service_decomposed(triples, True, finish_read)
+        self.stats.counters[sk.MEM_BLOCKS_WRITTEN] += blocks
+        self._emit_path_write(leaf, path_type, finish_read, finish_write,
+                              blocks)
+        return finish_write
+
+    def _place_path(
+        self, leaf: int, preexisting: Optional[Set[int]] = None
+    ) -> None:
+        """Greedy bottom-up placement of stash blocks along one path.
+
         Eviction candidates come pre-grouped by deepest eligible level from
         the stash's leaf-prefix index (:meth:`Stash.path_pools`) instead of
-        a full stash scan, and bucket slots are filled directly.  The
-        placement decisions — and therefore every counter and cycle — are
-        bit-identical to :meth:`_write_path_reference`.
+        a full stash scan, and bucket slots are filled directly.
         """
         oram = self.oram
         levels = oram.levels
@@ -664,15 +751,7 @@ class PathORAMController:
                 raise ProtocolError(str(exc)) from None
             if top_placed:
                 stats.counters[sk.TREETOP_PLACED] += top_placed
-            triples, blocks = self._path_dram_triples(leaf)
-            finish_write = self.dram.service_decomposed(
-                triples, True, finish_read
-            )
-            stats.counters[sk.MEM_BLOCKS_WRITTEN] += blocks
-            self._emit_path_write(leaf, path_type, finish_read, finish_write,
-                                  blocks)
-            self._after_write_phase()
-            return finish_write
+            return
 
         path_slots = tree.path_slots(leaf)
         slot_idx = len(path_slots) - 1
@@ -719,14 +798,6 @@ class PathORAMController:
                     stats.bump(sk.migration_key(origin), level)
             if rejected:
                 pool.extend(rejected)
-
-        triples, blocks = self._path_dram_triples(leaf)
-        finish_write = self.dram.service_decomposed(triples, True, finish_read)
-        stats.counters[sk.MEM_BLOCKS_WRITTEN] += blocks
-        self._emit_path_write(leaf, path_type, finish_read, finish_write,
-                              blocks)
-        self._after_write_phase()
-        return finish_write
 
     def _emit_path_write(self, leaf: int, path_type: PathType, start: int,
                          finish: int, blocks: int) -> None:
@@ -998,6 +1069,219 @@ class PathORAMController:
         finish_read, start, _ = self._service_path(leaf, PathType.DUMMY, now)
         finish_write = self._write_path(leaf, finish_read, PathType.DUMMY)
         return SlotResult(True, PathType.DUMMY, start, finish_read, finish_write)
+
+    # ------------------------------------------------------------------
+    # whole-batch dummy stepping (native fastpath)
+    # ------------------------------------------------------------------
+    def _native_batch_mode(self) -> int:
+        """Tree-top mode the batch kernel supports for this controller.
+
+        0 = dedicated counter-only cache, 1 = S-Stash gating, -1 = an
+        unknown tree-top subclass whose hooks must run in Python.
+        """
+        if type(self.treetop) is TreeTopCache:
+            return 0
+        from ..core.ir_stash import SStash
+
+        if type(self.treetop) is SStash:
+            return 1
+        return -1
+
+    def _build_batch_ctx(self, mode: int) -> tuple:
+        """Freeze every container/callable ``run_batch`` mutates or calls.
+
+        All slots are live references into controller state: the kernel
+        mutates the same dicts/lists the Python loop would, so stepping
+        styles can be mixed freely within one run.
+        """
+        dram_cfg = self.config.dram
+        stash = self.stash
+        if mode == 1:
+            resident = self.treetop._resident
+            set_count = self.treetop._set_count
+            set_of = self.treetop.set_of
+            ways = self.treetop.ways
+        else:
+            resident = None
+            set_count = None
+            set_of = None
+            ways = 0
+        return (
+            self.rng.randrange,
+            self.oram.leaves,
+            self._path_dram,
+            self._path_dram_triples,
+            self.tree._path_slots_cache,
+            self.tree.path_slots,
+            stash._entries,
+            stash._seq,
+            stash._by_prefix,
+            stash._prefix_shift,
+            stash._prefix_levels,
+            self.posmap._leaf_of,
+            self._z_list,
+            self.tree.level_used,
+            self.oram.levels,
+            self.oram.top_cached_levels,
+            EMPTY,
+            self.dram.bank_ready,
+            self.dram.bank_open_row,
+            self.dram.bus_free,
+            (
+                dram_cfg.cpu_cycles_per_dram_cycle,
+                dram_cfg.t_rp,
+                dram_cfg.t_rcd,
+                dram_cfg.t_burst,
+                dram_cfg.t_cas + dram_cfg.t_burst,
+            ),
+            mode,
+            resident,
+            set_count,
+            set_of,
+            ways,
+            # Kernel-maintained packed triple arrays (possibly pre-warmed
+            # by warm_path_caches); reset alongside the triples table.
+            self._packed_triples,
+            # Direct getrandbits leaf draws are only valid for plain
+            # random.Random (the kernel inlines exactly its _randbelow
+            # rejection loop); any subclass falls back to randrange.
+            self.rng.getrandbits if type(self.rng) is random.Random
+            else None,
+            self.oram.leaves.bit_length()
+            if type(self.rng) is random.Random else 0,
+        )
+
+    def _apply_batch_counters(self, n: int, agg: tuple) -> None:
+        """Apply one batch's aggregated effects to the stats counters.
+
+        Sums match the per-path increments exactly, and conditional keys
+        (tree-top hooks, eviction triggers, S-Stash events) are only
+        created when the corresponding per-path code would have created
+        them, so the counter *key set* is bit-identical too.
+        """
+        (blocks, hits, conflicts, placed_top, removed_top, ev_triggers,
+         ss_placed, ss_removed, ss_skips) = agg
+        counters = self.stats.counters
+        self.path_count += n
+        counters[_PATHS_KEY[PathType.DUMMY]] += n
+        counters[sk.PATHS_TOTAL] += n
+        counters[sk.MEM_BLOCKS_READ] += blocks
+        counters[_MEM_BLOCKS_KEY[PathType.DUMMY]] += 2 * blocks
+        counters[sk.MEM_BLOCKS_WRITTEN] += blocks
+        counters[sk.DRAM_ACCESSES] += 2 * blocks
+        counters[sk.DRAM_READS] += blocks
+        counters[sk.DRAM_WRITES] += blocks
+        counters[sk.DRAM_ROW_HITS] += hits
+        counters[sk.DRAM_ROW_CONFLICTS] += conflicts
+        if placed_top:
+            counters[sk.TREETOP_PLACED] += placed_top
+        if removed_top:
+            counters[sk.TREETOP_REMOVED] += removed_top
+        if ev_triggers:
+            counters[sk.EVICTION_TRIGGERS] += ev_triggers
+        if ss_placed:
+            counters[sk.SSTASH_PLACED] += ss_placed
+        if ss_removed:
+            counters[sk.SSTASH_REMOVED] += ss_removed
+        if ss_skips:
+            counters[sk.SSTASH_PLACEMENT_SKIPS] += ss_skips
+
+    def run_dummy_batch(
+        self,
+        now: int,
+        max_paths: int,
+        interval: int = 0,
+        horizon: Optional[int] = None,
+        stop_on_threshold: bool = False,
+        want_bounds: bool = False,
+        collect_timing: bool = False,
+    ) -> Tuple[int, int, Optional[List[int]]]:
+        """Issue up to ``max_paths`` dummy paths without per-path overhead.
+
+        Bit-identical to the loop ``result = self.dummy_path(now); now =
+        max(now + interval, result.finish_write)`` with the same stopping
+        rules: stop at ``horizon`` (the next cycle real work could appear)
+        and, with ``stop_on_threshold``, as soon as the stash crosses the
+        eviction threshold — the caller's per-slot logic then decides what
+        the next slot does, exactly as it would have mid-loop.
+
+        Returns ``(issued, new_now, bounds)`` where ``bounds`` (when
+        requested) is a flat ``[start, finish_read, finish_write, ...]``
+        list for cycle attribution.  Uses the native whole-batch kernel
+        when every precondition holds, else a pure-Python loop over
+        :meth:`dummy_path`.
+        """
+        batch = self.batch_counters
+        if (
+            self._native_bulk is not None
+            and self.SUPPORTS_NATIVE_BATCH
+            and self.stats.tracer is None
+            and self.observer is None
+            and self.slot_observer is None
+        ):
+            mode = self._native_batch_mode()
+            if mode >= 0:
+                ctx = self._batch_ctx
+                if ctx is None:
+                    ctx = self._batch_ctx = self._build_batch_ctx(mode)
+                stash = self.stash
+                n, new_now, next_seq, max_occ, bounds, agg, timings = (
+                    self._native_bulk.run_batch(
+                        ctx,
+                        now,
+                        stash._next_seq,
+                        interval,
+                        max_paths,
+                        -1 if horizon is None else horizon,
+                        self.oram.eviction_threshold
+                        if stop_on_threshold
+                        else -1,
+                        self.oram.eviction_threshold,
+                        want_bounds,
+                        collect_timing,
+                    )
+                )
+                stash._next_seq = next_seq
+                if max_occ > stash.peak_occupancy:
+                    stash.peak_occupancy = max_occ
+                if n:
+                    self._apply_batch_counters(n, agg)
+                    if stop_on_threshold:
+                        self._consecutive_evictions = 0
+                batch[sk.ENGINE_BATCH_CALLS] = (
+                    batch.get(sk.ENGINE_BATCH_CALLS, 0) + 1
+                )
+                batch[sk.ENGINE_BATCH_PATHS] = (
+                    batch.get(sk.ENGINE_BATCH_PATHS, 0) + n
+                )
+                if timings is not None:
+                    for key, value in zip(_BATCH_TIMING_KEYS, timings):
+                        batch[key] = batch.get(key, 0) + value
+                return n, new_now, bounds
+
+        bounds = [] if want_bounds else None
+        n = 0
+        while n < max_paths:
+            if horizon is not None and now >= horizon:
+                break
+            if stop_on_threshold and self.stash.over_threshold(
+                self.oram.eviction_threshold
+            ):
+                break
+            result = self.dummy_path(now)
+            if want_bounds:
+                bounds.extend(
+                    (result.start, result.finish_read, result.finish_write)
+                )
+            next_now = now + interval
+            now = max(next_now, result.finish_write)
+            n += 1
+        if stop_on_threshold and n:
+            self._consecutive_evictions = 0
+        batch[sk.ENGINE_BATCH_FALLBACK_PATHS] = (
+            batch.get(sk.ENGINE_BATCH_FALLBACK_PATHS, 0) + n
+        )
+        return n, now, bounds
 
     # ------------------------------------------------------------------
     # inspection helpers

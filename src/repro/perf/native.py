@@ -18,6 +18,7 @@ import hashlib
 import importlib.machinery
 import importlib.util
 import os
+import struct
 import subprocess
 import sys
 import sysconfig
@@ -116,7 +117,65 @@ def _self_test(module) -> bool:
     # row base 3 -> both slots land in row 4 of channel 0, bank 0.
     meta = [(0, 2, 0, 0, [5], 3, 1)]
     triples = module.path_triples(0, meta, 4, 2, 2)
-    return triples == [0, 0, 4, 0, 0, 4]
+    if triples != [0, 0, 4, 0, 0, 4]:
+        return False
+
+    # Whole-path batch: 2 leaves, 2 levels, block 3 sits at the root of
+    # leaf 1's path mapped to leaf 0 -> read at t=0 finishes at 10
+    # (activate 3 + two row-hit bursts), write finishes at 17, and the
+    # block is placed back at the root (diverges from its leaf at level
+    # 1), leaving the stash empty again.
+    entries = {}
+    seq = {}
+    by_prefix = {}
+    leaf_table = [-1, -1, -1, 0]
+    level_used = [1, 0]
+    ready = [0]
+    open_row = [-1]
+    bus_free = [0]
+    slots0 = [3]
+    batch_ctx = (
+        (lambda n: 1),                     # randrange
+        2,                                 # leaves
+        {1: ([0, 0, 7, 0, 0, 7], 2)},      # triples cache
+        (lambda leaf: None),               # triples fallback (unused)
+        {1: [(0, slots0), (1, [-1])]},     # path-slots cache
+        (lambda leaf: None),               # slots fallback (unused)
+        entries, seq, by_prefix,
+        0,                                 # prefix shift
+        1,                                 # prefix levels
+        leaf_table,
+        [1, 1],                            # z per level
+        level_used,
+        2,                                 # levels
+        0,                                 # top (no tree-top cache)
+        -1,                                # empty marker
+        ready, open_row, bus_free,
+        (1, 4, 3, 2, 5),                   # ratio, t_rp, t_rcd, t_burst, cas+burst
+        0,                                 # treetop mode: counter cache
+        None, None, None, 0,               # S-Stash slots unused
+        {},                                # packed triple arrays
+        None, 0,                           # getrandbits leg disabled
+    )
+    result = module.run_batch(batch_ctx, 0, 0, 0, 1, -1, -1, 10, 1, 0)
+    if result != (1, 17, 1, 1, [0, 10, 17],
+                  (2, 3, 0, 0, 0, 0, 0, 0, 0), None):
+        return False
+    packed = batch_ctx[26].get(1)
+    if packed != struct.pack("=7q", 2, 0, 0, 7, 0, 0, 7):
+        return False
+    if module.pack_triples(([0, 0, 7, 0, 0, 7], 2), 1, 1) != packed:
+        return False
+    return (
+        entries == {}
+        and seq == {}
+        and by_prefix == {}
+        and slots0 == [3]
+        and level_used == [1, 0]
+        and ready == [14]
+        and open_row == [7]
+        and bus_free == [14]
+    )
 
 
 def _build(so_path: str) -> bool:

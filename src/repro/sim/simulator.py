@@ -11,6 +11,7 @@ queueing delay are both workload-dependent, as in the paper.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -23,7 +24,7 @@ from ..errors import ProtocolError
 from ..obs import events as ev
 from ..obs.breakdown import CycleAttribution
 from ..oram.controller import PathORAMController
-from ..oram.types import Request, RequestKind
+from ..oram.types import PathType, Request, RequestKind
 from ..stats import Stats
 from ..traces.trace import Trace
 from .results import SimulationResult
@@ -212,11 +213,78 @@ class Simulator:
         last_finish = self._last_finish
         idle_iterations = self._idle_iterations
         checkpointer = self.checkpointer
+
+        # Batched dummy-slot draining: while the processor computes and the
+        # controller has no real work, whole runs of dummy paths execute in
+        # one native call instead of one step() round trip each.  Every
+        # slot-boundary hook forces per-slot stepping (a flush at every
+        # boundary): observers, tracers, checkpointers, and utilization or
+        # progress sampling all see exactly the slots they would have seen,
+        # and cycles/counters are bit-identical either way.
+        batch_slots = 0
+        if (
+            oram.timing_protection
+            and controller.SUPPORTS_NATIVE_BATCH
+            and controller.dwb is None
+            and controller.observer is None
+            and controller.slot_observer is None
+            and checkpointer is None
+            and tracer is None
+            and snapshot_every == 0
+            and progress_every == 0
+        ):
+            try:
+                batch_slots = int(
+                    os.environ.get("REPRO_BATCH_SLOTS", "256") or "0"
+                )
+            except ValueError:
+                batch_slots = 0
+            batch_slots = max(0, batch_slots)
+        dummy_value = PathType.DUMMY.value
+
         while True:
             if tracer is not None:
                 tracer.now = now
             processor.advance_to(now, hierarchy.cpu_access)
             trace_active = not processor.trace_exhausted()
+            if (
+                batch_slots
+                and trace_active
+                and not controller.has_pending_work(now)
+                and processor.next_request_time() is not None
+            ):
+                # The processor neither blocks nor finishes before
+                # cpu_time, and no queued request matures before its
+                # arrival, so until the earlier of the two every slot is a
+                # dummy slot (or a background eviction, which ends the
+                # batch via its threshold stop).
+                horizon = processor.cpu_time
+                arrival = controller.next_arrival()
+                if arrival is not None and arrival < horizon:
+                    horizon = arrival
+                if now < horizon:
+                    issued, batch_now, bounds = controller.run_dummy_batch(
+                        now,
+                        batch_slots,
+                        interval=interval,
+                        horizon=horizon,
+                        stop_on_threshold=True,
+                        want_bounds=True,
+                    )
+                    if issued:
+                        for i in range(0, 3 * issued, 3):
+                            start = bounds[i]
+                            attribution.on_path(
+                                dummy_value,
+                                start,
+                                bounds[i + 1],
+                                bounds[i + 2],
+                                start + interval,
+                            )
+                        last_finish = max(last_finish, bounds[-1])
+                        now = batch_now
+                        idle_iterations = 0
+                        continue
             result = controller.step(now, allow_dummy=trace_active)
 
             if result is None:
@@ -261,6 +329,12 @@ class Simulator:
                 self._last_finish = last_finish
                 self._idle_iterations = idle_iterations
                 checkpointer.take(self)
+
+        # Controllers that defer write phases (Palermo-style decoupling)
+        # flush them before the run is summarized.
+        drain = getattr(controller, "drain_background", None)
+        if drain is not None:
+            last_finish = max(last_finish, drain(now))
 
         self._now = now
         self._last_finish = last_finish

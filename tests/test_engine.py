@@ -318,12 +318,19 @@ class TestBenchProfile:
         monkeypatch.setattr(bench, "KERNEL_SCHEMES", ["Baseline"])
         report = bench.run_bench(smoke=True, jobs=4, profile=True)
         assert report["jobs"] == 1  # profiling forces serial
-        assert set(report["profile"]) == {"suite", "kernel"}
-        for rows in report["profile"].values():
+        sections = set(report["profile"])
+        # "batch" rides along whenever the native batch kernel ran.
+        assert sections - {"batch"} == {"suite", "kernel"}
+        for name in ("suite", "kernel"):
+            rows = report["profile"][name]
             assert rows and all(
                 {"func", "calls", "tottime", "cumtime"} <= set(row)
                 for row in rows
             )
+        for row in report["profile"].get("batch", []):
+            assert {"phase", "ms"} <= set(row)
         assert "engine" in report
         text = bench.format_report(report)
         assert "profile [suite]" in text
+        if "batch" in sections:
+            assert "profile [batch]" in text
