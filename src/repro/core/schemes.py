@@ -16,7 +16,10 @@ engine) from a :class:`~repro.config.SystemConfig`:
 * ``LLC-D``          — Baseline + delayed block remapping;
 * ``IR-Stash+IR-Alloc (LLC-D)`` — the Fig. 11 configuration;
 * ``Decoupled``      — Baseline with Palermo-style read/write phase
-  decoupling (deferred write bursts overlap later read phases).
+  decoupling (deferred write bursts overlap later read phases);
+* ``Pyramid``        — Baseline paired with a small hierarchical bucket
+  store under periodic oblivious reshuffles (the contrasting
+  trusted-processor family the distinguisher harness evaluates).
 """
 
 from __future__ import annotations
@@ -30,6 +33,7 @@ from ..config import SystemConfig
 from ..errors import ConfigError
 from ..oram.controller import PathORAMController
 from ..oram.decoupled import DecoupledPathORAMController
+from ..oram.pyramid import PyramidController
 from ..oram.rho import RhoController
 from ..stats import Stats
 from .ir_alloc import PAPER_ALLOC_CONFIGS, apply_alloc_plan
@@ -108,6 +112,14 @@ def _decoupled(
     return SimComponents(config, controller, llc, stats, rng)
 
 
+def _pyramid(
+    config: SystemConfig, stats: Stats, rng: random.Random
+) -> SimComponents:
+    llc = LastLevelCache(config.llc, stats)
+    controller = PyramidController(config, stats, rng)
+    return SimComponents(config, controller, llc, stats, rng)
+
+
 SCHEMES: Dict[str, Scheme] = {
     scheme.name: scheme
     for scheme in [
@@ -159,6 +171,11 @@ SCHEMES: Dict[str, Scheme] = {
             "Decoupled",
             "Baseline + Palermo-style read/write phase decoupling",
             _decoupled,
+        ),
+        Scheme(
+            "Pyramid",
+            "hierarchical bucket levels with periodic oblivious reshuffle",
+            _pyramid,
         ),
         Scheme(
             "IR-Alloc1",

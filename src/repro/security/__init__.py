@@ -1,5 +1,15 @@
-"""Security analysis: the obliviousness checker of Section IV-E."""
+"""Security analysis: the obliviousness checker of Section IV-E and the
+registry of deliberately leaky mutants that mutation-test the
+adversarial distinguisher (see ``docs/security.md``)."""
 
+from .mutants import MUTANTS, Mutant, build_mutant
 from .obliviousness import AccessRecorder, ObliviousnessReport, check_obliviousness
 
-__all__ = ["AccessRecorder", "ObliviousnessReport", "check_obliviousness"]
+__all__ = [
+    "AccessRecorder",
+    "MUTANTS",
+    "Mutant",
+    "ObliviousnessReport",
+    "build_mutant",
+    "check_obliviousness",
+]

@@ -170,6 +170,16 @@ RHO_MAIN_REINSERTS = "rho.main_reinserts"
 RHO_MAIN_ACCESSES = "rho.main_accesses"
 RHO_EXTRACTIONS = "rho.extractions"
 
+# -- pyramid: the hierarchical Pyramid-style baseline -------------------------
+PATHS_PYRAMID = "paths.pyramid"  # pyramid probe/reshuffle subset of the total
+PYRAMID_HITS = "pyramid.hits"
+PYRAMID_PROBE_DUMMIES = "pyramid.probe_dummies"
+PYRAMID_RESHUFFLES = "pyramid.reshuffles"
+PYRAMID_PROMOTIONS = "pyramid.promotions"
+PYRAMID_SPILLS = "pyramid.spills"
+PYRAMID_MAIN_ACCESSES = "pyramid.main_accesses"
+PYRAMID_MAIN_REINSERTS = "pyramid.main_reinserts"
+
 # -- engine: warm-pool execution engine + artifact cache ----------------------
 ENGINE_LAYOUT_HITS = "engine.layout_hits"
 ENGINE_LAYOUT_MISSES = "engine.layout_misses"

@@ -1,5 +1,6 @@
 """Memory-trace infrastructure: records, synthetic generators, benchmarks."""
 
+from .adversarial import ADVERSARY_PROGRAMS, DEFAULT_PROGRAM_PAIR, build_program
 from .benchmarks import BENCHMARKS, BenchmarkModel, benchmark_trace
 from .mix import mix_traces
 from .synthetic import random_trace, strided_trace, zipf_trace
@@ -8,9 +9,12 @@ from .trace import Trace, TraceRecord
 __all__ = [
     "Trace",
     "TraceRecord",
+    "ADVERSARY_PROGRAMS",
+    "DEFAULT_PROGRAM_PAIR",
     "BENCHMARKS",
     "BenchmarkModel",
     "benchmark_trace",
+    "build_program",
     "random_trace",
     "strided_trace",
     "zipf_trace",

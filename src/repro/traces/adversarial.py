@@ -1,0 +1,122 @@
+"""Adversary-chosen access programs for the trace distinguisher.
+
+In the indistinguishability game of :mod:`repro.validate.distinguish`
+the adversary picks two programs; the defense wins only if the recorded
+memory traces of the two arms are statistically indistinguishable.  The
+programs here are chosen to *maximize* the distance between arms along
+every channel a broken scheme could leak through:
+
+* demand intensity (``hot-compute`` vs ``uniform-memory`` — large vs
+  small instruction gaps, so dummy-slot behaviour differs maximally);
+* temporal shape (``burst`` — dense flurries separated by long idles);
+* spatial locality and reuse (``stride-pathological`` — a scan plus a
+  tiny hot set, the PLB/tree-top best case).
+
+Each program is a builder ``(config, records, rng) -> Trace`` so the
+harness can regenerate it from a seed for replay.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Tuple
+
+from ..config import SystemConfig
+from .synthetic import random_trace, zipf_trace
+from .trace import Trace, TraceRecord
+
+ProgramFn = Callable[[SystemConfig, int, random.Random], Trace]
+
+
+def _hot_compute(config: SystemConfig, records: int, rng: random.Random) -> Trace:
+    """Compute-bound: skewed reuse of a small footprint, long gaps.
+
+    Most accesses hit on chip, so almost every issue slot is a dummy —
+    one extreme of the intensity channel.  The instruction gap is sized
+    to roughly one issue slot per record, so this arm still produces
+    enough paths for the fixed-size statistics even though nearly all
+    of them are dummies.
+    """
+    footprint = max(16, config.oram.user_blocks // 64)
+    gap = 4 * config.oram.issue_interval
+    trace = zipf_trace(
+        records, footprint, rng, alpha=1.3, gap=gap, name="hot-compute"
+    )
+    return trace
+
+
+def _uniform_memory(config: SystemConfig, records: int, rng: random.Random) -> Trace:
+    """Memory-bound: uniform random over the full footprint, short gaps.
+
+    Every access misses, so issue slots carry real work back to back —
+    the other extreme of the intensity channel.
+    """
+    return random_trace(
+        records, config.oram.user_blocks, rng, gap=10, name="uniform-memory"
+    )
+
+
+def _burst(config: SystemConfig, records: int, rng: random.Random) -> Trace:
+    """Phased: dense bursts of misses separated by long idle stretches.
+
+    The idle must dwarf a burst's own service backlog (a burst of ~10
+    misses takes ~10 issue slots to drain), or the queue absorbs it and
+    the phases never reach the memory interface.
+    """
+    user_blocks = config.oram.user_blocks
+    idle = 40 * config.oram.issue_interval
+    out: List[TraceRecord] = []
+    while len(out) < records:
+        burst_len = rng.randrange(2, 6)
+        for index in range(min(burst_len, records - len(out))):
+            gap = idle if index == 0 else 5
+            out.append((gap, rng.randrange(user_blocks), False))
+    return Trace("burst", out)
+
+
+def _stride_pathological(
+    config: SystemConfig, records: int, rng: random.Random
+) -> Trace:
+    """A linear scan interleaved with hammering a tiny hot set.
+
+    The scan defeats the LLC while the hot set concentrates posmap and
+    tree-top traffic — the pattern that exposes remap and eviction bugs.
+    """
+    user_blocks = config.oram.user_blocks
+    hot = [rng.randrange(user_blocks) for _ in range(4)]
+    out: List[TraceRecord] = []
+    cursor = rng.randrange(user_blocks)
+    for index in range(records):
+        if index % 3 == 2:
+            out.append((40, hot[index % len(hot)], index % 2 == 0))
+        else:
+            cursor = (cursor + 1) % user_blocks
+            out.append((40, cursor, False))
+    return Trace("stride-pathological", out)
+
+
+ADVERSARY_PROGRAMS: Dict[str, ProgramFn] = {
+    "hot-compute": _hot_compute,
+    "uniform-memory": _uniform_memory,
+    "burst": _burst,
+    "stride-pathological": _stride_pathological,
+}
+
+#: The canonical game: compute-bound vs memory-bound.  These two arms
+#: differ maximally in demand intensity, the channel the fixed issue
+#: rate plus dummy paths is supposed to close.
+DEFAULT_PROGRAM_PAIR: Tuple[str, str] = ("hot-compute", "uniform-memory")
+
+
+def build_program(
+    name: str, config: SystemConfig, records: int, rng: random.Random
+) -> Trace:
+    """Build an adversary program by name (KeyError lists valid names)."""
+    try:
+        program = ADVERSARY_PROGRAMS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown adversary program {name!r}; "
+            f"available: {sorted(ADVERSARY_PROGRAMS)}"
+        ) from None
+    return program(config, records, rng)

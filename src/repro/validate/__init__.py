@@ -17,10 +17,20 @@ Three pillars (see ``docs/validation.md``):
   (worker crashes, hangs, torn caches) proving the supervised engine
   recovers bit-identical to the serial loop
   (``repro validate --chaos``; see ``docs/resilience.md``).
+- :mod:`repro.validate.distinguish` — the adversarial trace
+  indistinguishability game with its mutation-testing mutant registry
+  (``repro validate --distinguish``; see ``docs/security.md``).
 """
 
 from ..errors import AuditError
 from .chaos import ChaosPlan, ChaosWorker, run_chaos, tear_cache_files
+from .distinguish import (
+    DistinguisherReport,
+    DistinguishSpec,
+    SuiteReport,
+    run_game,
+    run_suite,
+)
 from .invariants import DEFAULT_CADENCE, AuditReport, InvariantAuditor, attach_auditor
 from .oracle import (
     ReferenceORAM,
@@ -35,6 +45,11 @@ __all__ = [
     "AuditReport",
     "ChaosPlan",
     "ChaosWorker",
+    "DistinguishSpec",
+    "DistinguisherReport",
+    "SuiteReport",
+    "run_game",
+    "run_suite",
     "run_chaos",
     "tear_cache_files",
     "DEFAULT_CADENCE",

@@ -7,7 +7,9 @@ the lockstep differential oracle across the scheme zoo; with
 ``--regen`` rewrites the golden corpus; ``--fuzz N`` runs the
 seed-replayable fuzzer (``--inject-faults`` turns on the auditor
 self-test mode); ``--replay FILE`` reproduces a persisted failure
-artifact.
+artifact; ``--distinguish`` plays the adversarial trace
+indistinguishability game over every scheme and leaky mutant
+(``--distinguish --replay FILE`` re-runs a persisted game verdict).
 """
 
 from __future__ import annotations
@@ -55,13 +57,26 @@ def add_parser(sub) -> None:
         help="where fuzz failures are persisted",
     )
     parser.add_argument(
+        "--distinguish", action="store_true",
+        help="adversarial trace distinguisher: clean schemes must be "
+             "indistinguishable, every registered mutant must flag",
+    )
+    parser.add_argument(
+        "--schemes", default=None, metavar="NAME[,NAME]",
+        help="restrict --distinguish to these clean schemes",
+    )
+    parser.add_argument(
+        "--mutants", default=None, metavar="NAME[,NAME]",
+        help="restrict --distinguish to these leaky mutants",
+    )
+    parser.add_argument(
         "--chaos", action="store_true",
         help="fault-injection pass: worker crashes, hangs, and torn "
              "caches must recover bit-identical to the serial loop",
     )
     parser.add_argument(
         "--budget", choices=("small", "full"), default="small",
-        help="chaos sweep size (records per point)",
+        help="chaos/distinguish sweep size",
     )
     parser.add_argument("--seed", type=int, default=1,
                         help="base seed for the fuzzer and chaos plans")
@@ -155,6 +170,64 @@ def _do_check(args) -> int:
     return 1 if failed else 0
 
 
+def _do_distinguish(args) -> int:
+    from . import distinguish
+
+    if args.replay:
+        report, mismatches = distinguish.replay(args.replay)
+        spec = report.spec
+        print(f"replayed {args.replay}: scheme={spec.scheme} "
+              f"{spec.program_a} vs {spec.program_b} seed={spec.base_seed}")
+        _print_distinguish_report(report)
+        if mismatches:
+            print("replay did NOT reproduce the artifact:", file=sys.stderr)
+            for line in mismatches:
+                print(f"  {line}", file=sys.stderr)
+            return 1
+        print("replay reproduced the recorded verdict bit-for-bit")
+        return 0
+
+    schemes = args.schemes.split(",") if args.schemes else None
+    mutants = args.mutants.split(",") if args.mutants else None
+    artifact_dir = args.artifact_dir
+    if artifact_dir == fuzz_mod.DEFAULT_ARTIFACT_DIR:
+        artifact_dir = distinguish.DEFAULT_ARTIFACT_DIR
+    suite = distinguish.run_suite(
+        budget=args.budget,
+        schemes=schemes,
+        mutants=mutants,
+        base_seed=args.seed,
+        artifact_dir=artifact_dir,
+    )
+    for name in sorted(suite.reports):
+        report = suite.reports[name]
+        _print_distinguish_report(report, suite.artifact_paths.get(name))
+    if suite.clean_failures:
+        print(f"clean schemes DISTINGUISHABLE: "
+              f"{', '.join(suite.clean_failures)}", file=sys.stderr)
+    if suite.mutant_escapes:
+        print(f"leaky mutants ESCAPED: {', '.join(suite.mutant_escapes)}",
+              file=sys.stderr)
+    print("distinguish: PASS" if suite.ok else "distinguish: FAIL")
+    return 0 if suite.ok else 1
+
+
+def _print_distinguish_report(report, artifact_path=None) -> None:
+    from ..security.mutants import MUTANTS
+
+    spec = report.spec
+    kind = "mutant" if spec.scheme in MUTANTS else "scheme"
+    verdict = "DISTINGUISHABLE" if report.distinguishable else "clean"
+    flagged = [
+        f"{f.name} (TV {f.statistic:.3f}, p {f.corrected_p:.4f})"
+        for f in report.features if f.flagged
+    ]
+    detail = f" via {', '.join(flagged)}" if flagged else ""
+    print(f"{kind} {spec.scheme}: {verdict}{detail}")
+    if artifact_path:
+        print(f"  artifact: {artifact_path}")
+
+
 def _do_chaos(args) -> int:
     from . import chaos
 
@@ -184,6 +257,10 @@ def _do_chaos(args) -> int:
 
 
 def run_validate(args: argparse.Namespace) -> int:
+    # --distinguish dispatches first so `--distinguish --replay FILE`
+    # routes to the distinguisher's replay, not the fuzzer's.
+    if args.distinguish:
+        return _do_distinguish(args)
     if args.regen:
         return _do_regen(args)
     if args.replay:

@@ -6,8 +6,9 @@ the protocol invariants of the paper:
 
 * **block conservation** (§II-B): every block of the merged Freecursive
   namespace is held by exactly one of — the tree, the stash, the PLB, the
-  PLB victim buffer, Rho's small-tree custody, or a legitimate external
-  holder (LLC-D's delayed-remap blocks living in the LLC);
+  PLB victim buffer, Rho's small-tree custody, Pyramid's level custody,
+  or a legitimate external holder (LLC-D's delayed-remap blocks living in
+  the LLC);
 * **path residency** (§II-B): every tree-resident block sits on the path
   of its PosMap leaf (and stash leaf tags match the PosMap);
 * **stash bounds** (§II-B, Ren et al.): occupancy and its high-water mark
@@ -237,6 +238,7 @@ class InvariantAuditor:
             self._check_posmap_holder(block, "victim buffer")
 
         self._claim_rho_holders(claim)
+        self._claim_pyramid_holders(claim)
 
         missing_ok = controller.delayed_remap
         for block in range(total):
@@ -327,6 +329,41 @@ class InvariantAuditor:
                     f"tree nor the small stash"
                 )
 
+    def _pyramid_custody(self):
+        """Pyramid's level map, when the controller is a Pyramid."""
+        return getattr(self.controller, "pyramid_map", None)
+
+    def _claim_pyramid_holders(self, claim) -> None:
+        pyramid_map = self._pyramid_custody()
+        if pyramid_map is None:
+            return
+        controller = self.controller
+        posmap = controller.posmap
+        level_buckets = controller.level_buckets
+        for block, (level, bucket) in pyramid_map.items():
+            claim(block, f"pyramid@L{level}")
+            if not 0 <= level < len(level_buckets):
+                self._fail(
+                    f"pyramid block {block} assigned to level {level} "
+                    f"outside the hierarchy"
+                )
+            if not 0 <= bucket < level_buckets[level]:
+                self._fail(
+                    f"pyramid block {block} assigned bucket {bucket} "
+                    f"outside level {level} ({level_buckets[level]} buckets)"
+                )
+            if posmap.is_mapped(block):
+                self._fail(
+                    f"pyramid-custody block {block} still mapped in the "
+                    f"main PosMap (promotion must be exclusive)"
+                )
+        for block in controller._pending_main_insert:
+            claim(block, "pending-main-insert")
+            if posmap.is_mapped(block):
+                self._fail(
+                    f"pending-main-insert block {block} already mapped"
+                )
+
     def _check_stash_bounds(self) -> None:
         controller = self.controller
         capacity = controller.oram.stash_capacity
@@ -355,14 +392,25 @@ class InvariantAuditor:
                 f"set={sorted(controller._limbo)}"
             )
         small_map = self._rho_custody()
-        if small_map is None:
-            return
-        if set(controller.main_insert_queue) != controller._pending_main_insert:
-            self._fail("Rho main-insert queue and pending set diverged")
-        if not controller._evicting <= set(small_map):
-            self._fail(
-                "Rho eviction set references blocks outside the small map"
-            )
+        if small_map is not None:
+            if (
+                set(controller.main_insert_queue)
+                != controller._pending_main_insert
+            ):
+                self._fail("Rho main-insert queue and pending set diverged")
+            if not controller._evicting <= set(small_map):
+                self._fail(
+                    "Rho eviction set references blocks outside the small map"
+                )
+        pyramid_map = self._pyramid_custody()
+        if pyramid_map is not None:
+            if (
+                set(controller.main_insert_queue)
+                != controller._pending_main_insert
+            ):
+                self._fail(
+                    "Pyramid main-insert queue and pending set diverged"
+                )
 
     def _check_treetop_mirror(self) -> None:
         """IR-Stash: the S-Stash address index mirrors top-level residency."""

@@ -68,6 +68,43 @@ def test_fuzz_inject_faults_and_replay(tmp_path, capsys):
     assert "0 failure(s)" in capsys.readouterr().out
 
 
+def test_committed_corpus_covers_every_scheme(capsys):
+    """The checked-in corpus must track the scheme zoo — including
+    Pyramid — and every entry digest must be self-consistent, so a
+    drifted or hand-edited corpus fails before any simulation runs."""
+    from repro.core.schemes import SCHEMES
+
+    document = golden.load(golden.DEFAULT_PATH)
+    covered = {key.split("|")[0] for key in document["entries"]}
+    assert covered == set(SCHEMES)
+    assert "Pyramid" in covered
+    assert len(document["entries"]) == 2 * len(SCHEMES)
+    for key, entry in document["entries"].items():
+        assert entry["digest"] == golden.entry_digest(entry), key
+
+
+def test_distinguish_cli_smoke(tmp_path, capsys):
+    """One clean scheme and one mutant through the real CLI path."""
+    artifact_dir = str(tmp_path / "distinguish")
+    assert main([
+        "validate", "--distinguish",
+        "--schemes", "Baseline", "--mutants", "skip-dummies",
+        "--artifact-dir", artifact_dir,
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "scheme Baseline: clean" in out
+    assert "mutant skip-dummies: DISTINGUISHABLE" in out
+    assert "distinguish: PASS" in out
+    artifacts = os.listdir(artifact_dir)
+    assert len(artifacts) == 2
+
+    # replaying a persisted verdict routes to the distinguisher, not
+    # the fuzzer, and reproduces bit-for-bit
+    path = os.path.join(artifact_dir, sorted(artifacts)[0])
+    assert main(["validate", "--distinguish", "--replay", path]) == 0
+    assert "bit-for-bit" in capsys.readouterr().out
+
+
 def test_replay_reproduces_persisted_artifact(tmp_path, capsys):
     from repro.config import SystemConfig
     from repro.validate import fuzz as fuzz_mod
