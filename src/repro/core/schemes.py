@@ -19,7 +19,13 @@ engine) from a :class:`~repro.config.SystemConfig`:
   decoupling (deferred write bursts overlap later read phases);
 * ``Pyramid``        — Baseline paired with a small hierarchical bucket
   store under periodic oblivious reshuffles (the contrasting
-  trusted-processor family the distinguisher harness evaluates).
+  trusted-processor family the distinguisher harness evaluates);
+* ``Ring``           — Baseline paired with a Ring ORAM hot tree
+  (Z real + S dummy permuted slots, one-slot ReadPaths,
+  reverse-lexicographic EvictPaths, early reshuffles);
+* ``Ring+IR-DWB``    — Ring with idle main-tree dummy slots converted
+  to early write-backs (the IR technique that composes unchanged —
+  see DESIGN.md on why IR-Alloc's Z-search does not).
 """
 
 from __future__ import annotations
@@ -35,6 +41,7 @@ from ..oram.controller import PathORAMController
 from ..oram.decoupled import DecoupledPathORAMController
 from ..oram.pyramid import PyramidController
 from ..oram.rho import RhoController
+from ..oram.ring import RingController
 from ..stats import Stats
 from .ir_alloc import PAPER_ALLOC_CONFIGS, apply_alloc_plan
 from .ir_dwb import DWBEngine
@@ -120,6 +127,15 @@ def _pyramid(
     return SimComponents(config, controller, llc, stats, rng)
 
 
+def _ring(config: SystemConfig, stats: Stats, rng: random.Random,
+          *, dwb: bool = False) -> SimComponents:
+    llc = LastLevelCache(config.llc, stats)
+    controller = RingController(config, stats, rng)
+    if dwb:
+        controller.dwb = DWBEngine(controller, llc, stats)
+    return SimComponents(config, controller, llc, stats, rng)
+
+
 SCHEMES: Dict[str, Scheme] = {
     scheme.name: scheme
     for scheme in [
@@ -176,6 +192,16 @@ SCHEMES: Dict[str, Scheme] = {
             "Pyramid",
             "hierarchical bucket levels with periodic oblivious reshuffle",
             _pyramid,
+        ),
+        Scheme(
+            "Ring",
+            "Ring ORAM hot tree (Z+S permuted slots, one-slot reads)",
+            _ring,
+        ),
+        Scheme(
+            "Ring+IR-DWB",
+            "Ring with idle main dummy slots converted to write-backs",
+            lambda c, s, r: _ring(c, s, r, dwb=True),
         ),
         Scheme(
             "IR-Alloc1",

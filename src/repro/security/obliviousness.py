@@ -80,7 +80,10 @@ def check_obliviousness(
     public path shape — Rho's small tree draws from far fewer leaves
     than the main tree, and judging those against ``oram.leaves`` would
     flag a uniform distribution as biased.  Unmapped sizes default to
-    the main tree's leaf count.
+    the main tree's leaf count.  Sizes of the same path type that map to
+    the *same* space are pooled before testing: Ring's early reshuffles
+    inflate a single protocol class into many observed sizes, and judging
+    each thin slice alone would pass vacuously on sample count.
     """
     interval = issue_interval or oram.issue_interval
     violations: List[str] = []
@@ -161,9 +164,13 @@ def _check_leaf_distribution(
 
     The path size is public (the attacker counts addresses), so a
     two-tree scheme legitimately produces one uniform distribution per
-    size class — each judged against its own leaf space.  With scipy
-    available a chi-square goodness-of-fit over leaf buckets is used;
-    otherwise a coarse frequency bound.
+    size class — each judged against its own leaf space.  Size classes
+    of one path type that ``leaf_spaces`` maps to the same space are
+    pooled and judged once: a scheme whose reshuffle bursts ride on the
+    read path (Ring) fans a single protocol class across many observed
+    sizes, and judging each thin slice alone would pass vacuously on
+    sample count.  With scipy available a chi-square goodness-of-fit
+    over leaf buckets is used; otherwise a coarse frequency bound.
     """
     grouped: Dict[Tuple[PathType, int], List[int]] = defaultdict(list)
     sizes_per_type: Dict[PathType, set] = defaultdict(set)
@@ -172,18 +179,33 @@ def _check_leaf_distribution(
         grouped[(record.path_type, size)].append(record.leaf)
         sizes_per_type[record.path_type].add(size)
 
-    results: Dict[str, bool] = {}
-    for (path_type, size), leaves in grouped.items():
+    def label(path_type: PathType, sizes: List[int]) -> str:
+        if len(sizes) > 1:
+            return f"{path_type.value}@{sizes[0]}+{len(sizes) - 1}"
         if len(sizes_per_type[path_type]) > 1:
-            key = f"{path_type.value}@{size}"
+            return f"{path_type.value}@{sizes[0]}"
+        return path_type.value
+
+    classes: List[Tuple[str, List[int], int]] = []
+    pooled: Dict[Tuple[PathType, int], Tuple[List[int], List[int]]] = {}
+    for (path_type, size), leaves in sorted(
+        grouped.items(), key=lambda item: (item[0][0].value, item[0][1])
+    ):
+        if leaf_spaces and size in leaf_spaces:
+            space = leaf_spaces[size]
+            sizes, merged = pooled.setdefault((path_type, space), ([], []))
+            sizes.append(size)
+            merged.extend(leaves)
         else:
-            key = path_type.value
+            classes.append((label(path_type, [size]), leaves, oram.leaves))
+    for (path_type, space), (sizes, merged) in pooled.items():
+        classes.append((label(path_type, sizes), merged, space))
+
+    results: Dict[str, bool] = {}
+    for key, leaves, leaf_space in classes:
         if len(leaves) < 50:
             results[key] = True  # not enough samples to judge
             continue
-        leaf_space = oram.leaves
-        if leaf_spaces and size in leaf_spaces:
-            leaf_space = leaf_spaces[size]
         uniform = _uniformity_test(leaves, leaf_space)
         results[key] = uniform
         if not uniform:

@@ -68,6 +68,7 @@ _SALT_SOURCES = (
     "oram/plb.py",
     "oram/posmap.py",
     "oram/rho.py",
+    "oram/ring.py",
     "oram/stash.py",
     "oram/tree.py",
     "oram/treetop.py",

@@ -170,6 +170,20 @@ RHO_MAIN_REINSERTS = "rho.main_reinserts"
 RHO_MAIN_ACCESSES = "rho.main_accesses"
 RHO_EXTRACTIONS = "rho.extractions"
 
+# -- ring: the Ring ORAM hot-tree family --------------------------------------
+PATHS_RING_TREE = "paths.ring_tree"  # ring-tree subset of the total
+RING_HITS = "ring.hits"
+RING_STASH_HITS = "ring.stash_hits"
+RING_EVICTIONS = "ring.evictions"
+RING_EVICT_PATHS = "ring.evict_paths"
+RING_EARLY_RESHUFFLES = "ring.early_reshuffles"
+RING_XOR_RETURNS = "ring.xor_returns"
+RING_DUMMIES = "ring.dummies"
+RING_PROMOTIONS = "ring.promotions"
+RING_MAIN_REINSERTS = "ring.main_reinserts"
+RING_MAIN_ACCESSES = "ring.main_accesses"
+RING_EXTRACTIONS = "ring.extractions"
+
 # -- pyramid: the hierarchical Pyramid-style baseline -------------------------
 PATHS_PYRAMID = "paths.pyramid"  # pyramid probe/reshuffle subset of the total
 PYRAMID_HITS = "pyramid.hits"
@@ -246,6 +260,10 @@ AUDIT_BLOCKS_VERIFIED = "audit.blocks_verified"
 INTEGRITY_PATH_UPDATES = "integrity.path_updates"
 INTEGRITY_PATH_VERIFICATIONS = "integrity.path_verifications"
 INTEGRITY_VIOLATIONS = "integrity.violations"
+INTEGRITY_RING_UPDATES = "integrity.ring_updates"
+INTEGRITY_RING_VERIFICATIONS = "integrity.ring_verifications"
+INTEGRITY_RING_VIOLATIONS = "integrity.ring_violations"
+INTEGRITY_RING_RECOVERIES = "integrity.ring_recoveries"
 
 # -- series keys (Stats.record) -----------------------------------------------
 TREE_UTILIZATION = "tree.utilization"

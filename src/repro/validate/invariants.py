@@ -7,8 +7,8 @@ the protocol invariants of the paper:
 * **block conservation** (§II-B): every block of the merged Freecursive
   namespace is held by exactly one of — the tree, the stash, the PLB, the
   PLB victim buffer, Rho's small-tree custody, Pyramid's level custody,
-  or a legitimate external holder (LLC-D's delayed-remap blocks living in
-  the LLC);
+  Ring's bucket/stash custody, or a legitimate external holder (LLC-D's
+  delayed-remap blocks living in the LLC);
 * **path residency** (§II-B): every tree-resident block sits on the path
   of its PosMap leaf (and stash leaf tags match the PosMap);
 * **stash bounds** (§II-B, Ren et al.): occupancy and its high-water mark
@@ -24,7 +24,13 @@ the protocol invariants of the paper:
   under the :class:`~repro.sim.simulator.Simulator` clock — direct-drive
   harnesses disable it);
 * **S-Stash mirror** (IR-Stash, §IV-C): the address index of the tree-top
-  structure matches actual top-level residency.
+  structure matches actual top-level residency;
+* **Ring slot permutation** (Ren et al., Ring ORAM): a ring bucket holds
+  at most Z real blocks, its touched-slot set never covers a valid real
+  block, its access counter equals the touched-set size and stays below
+  the reshuffle threshold S between accesses — and, when the per-bucket
+  MAC layer is attached, every materialized bucket still authenticates
+  against its trusted on-chip epoch counter (silently).
 
 Bit-identity contract: the auditor never touches the controller's RNG,
 never mutates model state, and records its own bookkeeping in a *private*
@@ -44,6 +50,7 @@ from ..errors import AuditError
 from ..obs import events as ev
 from ..oram.controller import PathORAMController, SlotResult
 from ..oram.integrity import IntegrityError
+from ..oram.ring import RING_S, RING_Z
 from ..oram.tree import EMPTY
 from ..oram.types import BlockKind
 from ..stats import Stats
@@ -131,6 +138,7 @@ class InvariantAuditor:
         self._check_treetop_mirror()
         if self.check_integrity:
             self._check_merkle()
+            self._check_ring_macs()
         tracer = self.controller.stats.tracer
         if tracer is not None:
             tracer.emit(
@@ -239,6 +247,7 @@ class InvariantAuditor:
 
         self._claim_rho_holders(claim)
         self._claim_pyramid_holders(claim)
+        self._claim_ring_holders(claim)
 
         missing_ok = controller.delayed_remap
         for block in range(total):
@@ -364,6 +373,91 @@ class InvariantAuditor:
                     f"pending-main-insert block {block} already mapped"
                 )
 
+    def _ring_custody(self):
+        """Ring's position map, when the controller is a Ring."""
+        return getattr(self.controller, "ring_map", None)
+
+    def _claim_ring_holders(self, claim) -> None:
+        ring_map = self._ring_custody()
+        if ring_map is None:
+            return
+        controller = self.controller
+        posmap = controller.posmap
+        ring_oram = controller.ring_oram
+        levels = ring_oram.levels
+        tree_resident: Set[int] = set()
+        for level, position, bucket in controller.iter_ring_buckets():
+            slots = bucket.slots
+            real = 0
+            for index, block in enumerate(slots):
+                if block == EMPTY:
+                    continue
+                real += 1
+                claim(block, f"ring@L{level}")
+                tree_resident.add(block)
+                if index in bucket.touched:
+                    self._fail(
+                        f"ring bucket (L{level}, {position}) slot {index} "
+                        f"holds valid block {block} but is marked touched"
+                    )
+                leaf = ring_map.get(block)
+                if leaf is None:
+                    self._fail(
+                        f"ring-resident block {block} missing from the "
+                        f"ring map"
+                    )
+                if leaf >> (levels - 1 - level) != position:
+                    self._fail(
+                        f"block {block} off its ring path: at (L{level}, "
+                        f"{position}) but mapped to leaf {leaf}"
+                    )
+            if real > RING_Z:
+                self._fail(
+                    f"ring bucket (L{level}, {position}) holds {real} "
+                    f"real blocks > Z={RING_Z}"
+                )
+            if bucket.count != len(bucket.touched):
+                self._fail(
+                    f"ring bucket (L{level}, {position}) access counter "
+                    f"{bucket.count} != touched-slot count "
+                    f"{len(bucket.touched)}"
+                )
+            if bucket.count >= RING_S:
+                self._fail(
+                    f"ring bucket (L{level}, {position}) counter "
+                    f"{bucket.count} reached S={RING_S} without an early "
+                    f"reshuffle"
+                )
+            if any(index >= len(slots) for index in bucket.touched):
+                self._fail(
+                    f"ring bucket (L{level}, {position}) touched-slot set "
+                    f"references slots outside the bucket"
+                )
+        for block, leaf in controller.ring_stash.items():
+            claim(block, "ring-stash")
+            if ring_map.get(block) != leaf:
+                self._fail(
+                    f"ring-stash leaf tag for block {block} disagrees "
+                    f"with the ring map"
+                )
+        for block in controller._pending_main_insert:
+            claim(block, "pending-main-insert")
+            if posmap.is_mapped(block):
+                self._fail(
+                    f"pending-main-insert block {block} already mapped"
+                )
+        for block in ring_map:
+            if posmap.is_mapped(block):
+                self._fail(
+                    f"ring-custody block {block} still mapped in the "
+                    f"main PosMap (promotion must be exclusive)"
+                )
+            if block not in tree_resident and block not in controller.ring_stash:
+                self._fail(
+                    f"ring-custody block {block} in neither the ring "
+                    f"tree nor the ring stash"
+                )
+
     def _check_stash_bounds(self) -> None:
         controller = self.controller
         capacity = controller.oram.stash_capacity
@@ -381,6 +475,15 @@ class InvariantAuditor:
                     f"small-stash bound exceeded: occupancy {len(small)}, "
                     f"high-water {small.peak_occupancy}, "
                     f"capacity {small_cap}"
+                )
+        ring = getattr(controller, "ring_stash", None)
+        if ring is not None:
+            ring_cap = controller.ring_oram.stash_capacity
+            if len(ring) > ring_cap or ring.peak_occupancy > ring_cap:
+                self._fail(
+                    f"ring-stash bound exceeded: occupancy {len(ring)}, "
+                    f"high-water {ring.peak_occupancy}, "
+                    f"capacity {ring_cap}"
                 )
 
     def _check_queues(self) -> None:
@@ -410,6 +513,18 @@ class InvariantAuditor:
             ):
                 self._fail(
                     "Pyramid main-insert queue and pending set diverged"
+                )
+        ring_map = self._ring_custody()
+        if ring_map is not None:
+            if (
+                set(controller.main_insert_queue)
+                != controller._pending_main_insert
+            ):
+                self._fail("Ring main-insert queue and pending set diverged")
+            if not controller._evicting <= set(ring_map):
+                self._fail(
+                    "Ring eviction set references blocks outside the "
+                    "ring map"
                 )
 
     def _check_treetop_mirror(self) -> None:
@@ -448,6 +563,23 @@ class InvariantAuditor:
             integrity.verify_path(leaf, count=False)
         except IntegrityError as exc:
             self._fail(f"Merkle spot verification failed: {exc}")
+
+    def _check_ring_macs(self) -> None:
+        """Ring integrity: every materialized bucket still authenticates.
+
+        Runs silently (``count=False``) so audited runs stay
+        counter-bit-identical to unaudited ones.
+        """
+        integrity = getattr(self.controller, "ring_integrity", None)
+        if integrity is None:
+            return
+        for level, position, bucket in self.controller.iter_ring_buckets():
+            try:
+                integrity.verify_bucket(
+                    level, position, bucket.slots, count=False
+                )
+            except IntegrityError as exc:
+                self._fail(f"ring MAC verification failed: {exc}")
 
 
 def attach_auditor(

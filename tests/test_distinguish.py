@@ -53,7 +53,7 @@ def _spec(scheme, program_a, program_b, base_seed, records=None):
 class TestFalsePositiveBound:
     @settings(max_examples=4, deadline=None)
     @given(
-        scheme=st.sampled_from(["Baseline", "Rho", "Pyramid", "IR-ORAM"]),
+        scheme=st.sampled_from(["Baseline", "Rho", "Pyramid", "Ring", "IR-ORAM"]),
         program=st.sampled_from(sorted(ADVERSARY_PROGRAMS)),
         base_seed=st.integers(min_value=0, max_value=2**16),
     )

@@ -1,10 +1,15 @@
-"""Tests for the Merkle integrity layer."""
+"""Tests for the Merkle and Ring per-bucket integrity layers."""
 
 import pytest
 
 from repro.config import SystemConfig
 from repro.core.schemes import build_scheme
-from repro.oram.integrity import IntegrityError, MerkleIntegrity, attach_integrity
+from repro.oram.integrity import (
+    IntegrityError,
+    MerkleIntegrity,
+    attach_integrity,
+    attach_ring_integrity,
+)
 from repro.oram.tree import EMPTY, ORAMTree
 from repro.sim.runner import make_workload
 from repro.sim.simulator import Simulator
@@ -170,6 +175,150 @@ class TestControllerIntegration:
                     slots = tree.bucket(0, 0)
                     slots[0] = 12345 if slots[0] == EMPTY else slots[0] + 1
                     state["tampered"] = True
+            return original_step(now, allow_dummy)
+
+        controller.step = tampering_step
+        with pytest.raises(IntegrityError):
+            simulator.run()
+
+
+def _ring_run(records=150, seed=6, recovery_hook=None):
+    """A Ring scheme with the per-bucket MAC layer, warmed by a run."""
+    config = SystemConfig.tiny()
+    components = build_scheme("Ring", config)
+    integrity = attach_ring_integrity(
+        components.controller, recovery_hook=recovery_hook
+    )
+    trace = make_workload("random", config, records, seed=seed)
+    Simulator(components, trace).run()
+    return components, integrity
+
+
+def _occupied_bucket(controller):
+    for level, position, bucket in controller.iter_ring_buckets():
+        if any(block != EMPTY for block in bucket.slots):
+            return level, position, bucket
+    raise AssertionError("no occupied ring bucket after a warm run")
+
+
+class TestRingTamperingMatrix:
+    """The Merkle matrix's four physical-attack classes, replayed against
+    Ring's per-bucket MAC path: flipping a slot, forging a stored MAC,
+    swapping whole buckets, and replaying a stale snapshot against the
+    trusted on-chip epoch counter."""
+
+    def test_clean_run_verifies_and_counts(self):
+        components, _ = _ring_run()
+        stats = components.stats
+        assert stats.get("integrity.ring_verifications") > 0
+        assert stats.get("integrity.ring_updates") > 0
+        assert stats.get("integrity.ring_violations") == 0
+        controller = components.controller
+        integrity = controller.ring_integrity
+        for level, position, bucket in controller.iter_ring_buckets():
+            integrity.verify_bucket(level, position, bucket.slots)
+
+    def test_flipped_slot_detected(self):
+        components, integrity = _ring_run()
+        level, position, bucket = _occupied_bucket(components.controller)
+        index = next(
+            i for i, block in enumerate(bucket.slots) if block != EMPTY
+        )
+        bucket.slots[index] ^= 1
+        with pytest.raises(IntegrityError):
+            integrity.verify_bucket(level, position, bucket.slots)
+
+    def test_forged_stored_mac_detected(self):
+        components, integrity = _ring_run()
+        level, position, bucket = _occupied_bucket(components.controller)
+        integrity.forge_stored_mac(level, position)
+        with pytest.raises(IntegrityError):
+            integrity.verify_bucket(level, position, bucket.slots)
+
+    def test_swapped_buckets_detected(self):
+        components, integrity = _ring_run()
+        controller = components.controller
+        level, position, bucket = _occupied_bucket(controller)
+        other = next(
+            (lv, pos, bk)
+            for lv, pos, bk in controller.iter_ring_buckets()
+            if (lv, pos) != (level, position) and bk.slots != bucket.slots
+        )
+        bucket.slots[:], other[2].slots[:] = (
+            list(other[2].slots),
+            list(bucket.slots),
+        )
+        with pytest.raises(IntegrityError):
+            integrity.verify_bucket(level, position, bucket.slots)
+
+    def test_stale_bucket_replay_detected(self):
+        components, integrity = _ring_run()
+        level, position, bucket = _occupied_bucket(components.controller)
+        # attacker snapshots a valid bucket and its MAC...
+        snapshot_slots = list(bucket.slots)
+        snapshot_mac = integrity.stored_mac(level, position)
+        # ...a legitimate update advances the trusted epoch...
+        index = next(
+            i for i, block in enumerate(bucket.slots) if block != EMPTY
+        )
+        bucket.slots[index] = EMPTY
+        integrity.update_bucket(level, position, bucket.slots)
+        integrity.verify_bucket(level, position, bucket.slots)
+        # ...and the internally-consistent stale pair fails against it
+        bucket.slots[:] = snapshot_slots
+        integrity._macs[(level, position)] = snapshot_mac
+        with pytest.raises(IntegrityError):
+            integrity.verify_bucket(level, position, bucket.slots)
+
+
+class TestRingRecovery:
+    def test_recovery_hook_resyncs_and_continues(self):
+        calls = []
+
+        def hook(level, position, slots):
+            calls.append((level, position))
+            return True
+
+        components, integrity = _ring_run(recovery_hook=hook)
+        level, position, bucket = _occupied_bucket(components.controller)
+        integrity.forge_stored_mac(level, position)
+        integrity.verify_or_recover(level, position, bucket.slots)
+        assert calls == [(level, position)]
+        assert integrity.recoveries == 1
+        assert components.stats.get("integrity.ring_recoveries") == 1
+        # the resynced bucket authenticates again
+        integrity.verify_bucket(level, position, bucket.slots)
+
+    def test_declined_recovery_reraises(self):
+        components, integrity = _ring_run(
+            recovery_hook=lambda level, position, slots: False
+        )
+        level, position, bucket = _occupied_bucket(components.controller)
+        integrity.forge_stored_mac(level, position)
+        with pytest.raises(IntegrityError):
+            integrity.verify_or_recover(level, position, bucket.slots)
+        assert integrity.recoveries == 0
+
+    def test_mid_run_tampering_detected(self):
+        config = SystemConfig.tiny()
+        components = build_scheme("Ring", config)
+        attach_ring_integrity(components.controller)
+        trace = make_workload("random", config, 200, seed=8)
+        simulator = Simulator(components, trace)
+        controller = components.controller
+
+        original_step = controller.step
+        state = {"tampered": False}
+
+        def tampering_step(now, allow_dummy=True):
+            if not state["tampered"] and controller.path_count > 30:
+                for _, _, bucket in controller.iter_ring_buckets():
+                    bucket.slots[0] = (
+                        12345 if bucket.slots[0] == EMPTY
+                        else bucket.slots[0] + 1
+                    )
+                    state["tampered"] = True
+                    break
             return original_step(now, allow_dummy)
 
         controller.step = tampering_step

@@ -223,6 +223,42 @@ class TestMultiShapeSchemes:
         assert report.ok, report.violations
         assert any("@" in key for key in report.leaf_uniform_by_type)
 
+    def test_ring_is_oblivious_with_pooled_leaf_spaces(self, config):
+        """Ring's reshuffle-inflated ReadPaths pool into one size class.
+
+        Early reshuffles append whole buckets to a ReadPath's footprint,
+        fanning one protocol class across many observed sizes.  The
+        controller's ``leaf_spaces`` maps every such size to the ring
+        leaf space, and the checker pools same-space sizes so the class
+        is judged on its combined sample instead of passing vacuously
+        slice by slice (the ``size+n`` keys pin the pooling).
+        """
+        recorder, components = run_with_recorder(
+            "Ring", config, records=600, workload="mix"
+        )
+        controller = components.controller
+        report = check_obliviousness(
+            recorder, components.config.oram,
+            leaf_spaces=controller.leaf_spaces(),
+        )
+        assert all(report.leaf_uniform_by_type.values()), report.violations
+        assert any(
+            "+" in key for key in report.leaf_uniform_by_type
+        ), report.leaf_uniform_by_type
+        # like Pyramid, Ring's multi-shape footprint is outside the
+        # path-shape marginal check; the distinguisher is the authority
+        assert not report.shape_uniform
+
+    def test_ring_leaves_flagged_against_wrong_space(self, config):
+        """Without the override, pooled ring leaves are judged against
+        the main tree's space and correctly fail — the regression the
+        pooling fix guards: a vacuous pass would hide real bias."""
+        recorder, components = run_with_recorder(
+            "Ring", config, records=600, workload="mix"
+        )
+        report = check_obliviousness(recorder, components.config.oram)
+        assert not all(report.leaf_uniform_by_type.values())
+
     def test_pyramid_shape_is_outside_the_marginal_checker(self, config):
         """Pyramid is not a path ORAM: its public footprint mixes level
         probes, full paths, and scheduled reshuffle bursts, so the

@@ -25,7 +25,7 @@ from repro.validate import (
 from repro.validate import fuzz as fuzz_mod
 from repro.validate import golden
 
-AUDIT_SCHEMES = ("Baseline", "IR-ORAM", "LLC-D", "Rho")
+AUDIT_SCHEMES = ("Baseline", "IR-ORAM", "LLC-D", "Rho", "Ring")
 
 
 def warmed_controller(scheme="Baseline", records=40, seed=5):
